@@ -1,0 +1,118 @@
+"""Ablation benchmarks for design choices called out in DESIGN.md.
+
+Not part of the paper's evaluation, but they quantify the two substitutions
+and the path-selection design space:
+
+* **Solver backends** — the SciPy/HiGHS MILP backend vs the pure-Python
+  branch-and-bound backend on the same provisioning problem (both must find
+  the same optimum; HiGHS is expected to be faster).
+* **Path-selection heuristics** — the three objectives of Figure 3 on the
+  dumbbell topology, characterising the trade-off each makes.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core import PathSelectionHeuristic, compile_policy
+from repro.core.compiler import MerlinCompiler
+from repro.lp import BranchAndBoundSolver, ScipySolver
+from repro.topology.generators import dumbbell, fat_tree
+from repro.units import Bandwidth
+
+_FIG3_POLICY = """
+[ a : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 and tcp.dst = 80) -> .* ;
+  b : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02 and tcp.dst = 22) -> .* ],
+min(a, 50MB/s) and min(b, 50MB/s)
+"""
+
+
+def _guaranteed_fat_tree_policy(topology, pairs=6, rate=Bandwidth.mbps(100)):
+    hosts = topology.host_names()
+    statements, clauses = [], []
+    for index in range(pairs):
+        source = hosts[index]
+        destination = hosts[-(index + 1)]
+        statements.append(
+            f"g{index} : (eth.src = {topology.node(source).mac} and "
+            f"eth.dst = {topology.node(destination).mac}) -> .*"
+        )
+        clauses.append(f"min(g{index}, {rate.policy_literal()})")
+    return "[ " + " ; ".join(statements) + " ], " + " and ".join(clauses)
+
+
+def _run_solver_ablation():
+    topology = fat_tree(4)
+    policy = _guaranteed_fat_tree_policy(topology)
+    rows = []
+    for name, solver in (
+        ("scipy-highs", ScipySolver()),
+        ("branch-and-bound", BranchAndBoundSolver()),
+    ):
+        compiler = MerlinCompiler(
+            topology=topology, overlap="trust", generate_code=False, solver=solver
+        )
+        result = compiler.compile(policy)
+        rows.append(
+            {
+                "solver": name,
+                "lp_solve_ms": result.statistics.lp_solve_seconds * 1000.0,
+                "max_utilization": result.max_link_utilization(),
+                "paths": len(result.paths),
+            }
+        )
+    return rows
+
+
+def test_ablation_solver_backends(benchmark, report):
+    rows = benchmark.pedantic(_run_solver_ablation, rounds=1, iterations=1)
+    report(
+        "ablation_solvers",
+        format_table(rows, ["solver", "lp_solve_ms", "max_utilization", "paths"],
+                     title="Ablation: MIP solver backends on a fat-tree provisioning problem"),
+    )
+    # Both backends provision every guaranteed statement and respect capacity.
+    assert all(row["paths"] == 6 for row in rows)
+    assert all(row["max_utilization"] <= 1.0 + 1e-6 for row in rows)
+    # Both reach the same optimal max-utilisation (they solve the same MIP).
+    assert rows[0]["max_utilization"] == pytest.approx(
+        rows[1]["max_utilization"], abs=0.02
+    )
+
+
+def _run_heuristic_ablation():
+    topology = dumbbell()
+    rows = []
+    for heuristic in PathSelectionHeuristic:
+        result = compile_policy(_FIG3_POLICY, topology, {}, heuristic=heuristic)
+        total_hops = sum(
+            assignment.hop_count()
+            for name, assignment in result.paths.items()
+            if name in ("a", "b")
+        )
+        rows.append(
+            {
+                "heuristic": heuristic.value,
+                "total_hops": total_hops,
+                "r_max": result.max_link_utilization(),
+                "R_max_mbps": result.max_link_reservation().mbps_value,
+            }
+        )
+    return rows
+
+
+def test_ablation_path_selection_heuristics(benchmark, report):
+    rows = benchmark.pedantic(_run_heuristic_ablation, rounds=1, iterations=1)
+    report(
+        "ablation_heuristics",
+        format_table(rows, ["heuristic", "total_hops", "r_max", "R_max_mbps"],
+                     title="Ablation: path-selection heuristics on the Figure 3 dumbbell"),
+    )
+    by_name = {row["heuristic"]: row for row in rows}
+    # Each heuristic optimises its own criterion (Figure 3).
+    assert by_name["weighted-shortest-path"]["total_hops"] == min(
+        row["total_hops"] for row in rows
+    )
+    assert by_name["min-max-ratio"]["r_max"] == min(row["r_max"] for row in rows)
+    assert by_name["min-max-reserved"]["R_max_mbps"] == min(
+        row["R_max_mbps"] for row in rows
+    )

@@ -1,0 +1,47 @@
+"""Figure 7 (table) — fat-tree provisioning with 5% guaranteed traffic classes.
+
+Paper observation: the rateless (best-effort) solution time stays small and
+grows slowly, while LP construction and LP solution times grow quickly with
+the number of guaranteed traffic classes; guarantees for hundreds of classes
+on a 125-switch network solve in seconds, the largest configurations in
+minutes to hours.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.experiments.scaling import figure7_table
+
+from conftest import is_full_scale
+
+
+def _run():
+    if is_full_scale():
+        return figure7_table(arities=(4, 6, 8), guarantee_fraction=0.05)
+    # Quick mode: cap the number of traffic classes so the MIP stays small.
+    return figure7_table(arities=(4, 6), guarantee_fraction=0.05, max_classes=600)
+
+
+def test_fig7_fat_tree_table(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = format_table(
+        [row.as_dict() for row in rows],
+        [
+            "traffic_classes",
+            "hosts",
+            "switches",
+            "guaranteed",
+            "lp_construction_ms",
+            "lp_solve_ms",
+            "rateless_ms",
+        ],
+        title="Figure 7: fat-tree provisioning times (5% guaranteed classes)",
+    )
+    report("fig7_fattree_table", table)
+
+    # Shape: larger fat trees have more classes and more expensive LP phases,
+    # while the rateless path stays comparatively cheap.
+    assert rows[-1].traffic_classes > rows[0].traffic_classes
+    assert rows[-1].lp_solve_ms >= rows[0].lp_solve_ms * 0.5
+    for row in rows:
+        assert row.rateless_ms < row.lp_construction_ms + row.lp_solve_ms

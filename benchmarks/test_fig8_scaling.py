@@ -1,0 +1,59 @@
+"""Figure 8 — compilation time vs number of traffic classes.
+
+Four panels in the paper: (a)/(c) all-pairs best-effort connectivity on
+balanced trees and fat trees, (b)/(d) the same topologies with 5% of the
+traffic classes guaranteed.  The observation to reproduce: best-effort
+compilation grows slowly (it is dominated by sink-tree construction), while
+the guaranteed path grows much faster because of the MIP.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.experiments.scaling import figure8_curves
+
+from conftest import is_full_scale
+
+
+def _run():
+    if is_full_scale():
+        fat = figure8_curves("fat-tree", sizes=(4, 6, 8), guarantee_fraction=0.05)
+        balanced = figure8_curves(
+            "balanced-tree", sizes=(2, 3, 4), guarantee_fraction=0.05
+        )
+    else:
+        fat = figure8_curves(
+            "fat-tree", sizes=(4, 6), guarantee_fraction=0.05, max_classes=400
+        )
+        balanced = figure8_curves(
+            "balanced-tree", sizes=(2, 3), guarantee_fraction=0.05, max_classes=400
+        )
+    return {"fat-tree": fat, "balanced-tree": balanced}
+
+
+def test_fig8_scaling(benchmark, report):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    blocks = []
+    for family, series in curves.items():
+        for kind, rows in series.items():
+            blocks.append(
+                format_table(
+                    [row.as_dict() for row in rows],
+                    ["topology", "traffic_classes", "guaranteed",
+                     "lp_construction_ms", "lp_solve_ms", "rateless_ms", "total_ms"],
+                    title=f"Figure 8: {family}, {kind}",
+                )
+            )
+    report("fig8_scaling", "\n\n".join(blocks))
+
+    for family, series in curves.items():
+        best_effort = series["best-effort"]
+        guaranteed = series["guaranteed"]
+        # Best-effort compilations never pay the MIP cost.
+        assert all(row.lp_solve_ms == 0.0 for row in best_effort)
+        assert all(row.guaranteed_classes == 0 for row in best_effort)
+        # Guaranteed compilations do, and cost more than best-effort overall.
+        assert all(row.guaranteed_classes > 0 for row in guaranteed)
+        assert guaranteed[-1].total_ms > best_effort[-1].rateless_ms
+        # Compilation time grows with the number of traffic classes.
+        assert guaranteed[-1].traffic_classes > guaranteed[0].traffic_classes

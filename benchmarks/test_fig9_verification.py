@@ -1,0 +1,64 @@
+"""Figure 9 — negotiator verification time.
+
+Three sweeps: number of delegated predicates, regular-expression AST size,
+and number of bandwidth allocations.  Paper observation: predicates and
+allocations verify in milliseconds and scale linearly into the tens of
+thousands; regular-expression verification is noticeably more expensive and
+grows super-linearly (the paper reports ~3.5 s at a thousand AST nodes).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.experiments.verification import (
+    sweep_allocations,
+    sweep_predicates,
+    sweep_regex_nodes,
+)
+
+from conftest import is_full_scale
+
+
+def _run():
+    if is_full_scale():
+        predicates = sweep_predicates((10, 100, 1000, 5000, 10000))
+        allocations = sweep_allocations((10, 100, 1000, 5000, 10000))
+        regexes = sweep_regex_nodes((10, 50, 100, 250, 500, 1000))
+    else:
+        predicates = sweep_predicates((10, 100, 1000, 2000))
+        allocations = sweep_allocations((10, 100, 1000, 5000))
+        regexes = sweep_regex_nodes((10, 50, 100, 150))
+    return predicates, allocations, regexes
+
+
+def test_fig9_verification(benchmark, report):
+    predicates, allocations, regexes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    blocks = [
+        format_table(
+            [point.as_dict() for point in predicates],
+            ["size", "verify_ms", "valid"],
+            title="Figure 9 (left): verification time vs number of predicates",
+        ),
+        format_table(
+            [point.as_dict() for point in regexes],
+            ["size", "verify_ms", "valid"],
+            title="Figure 9 (middle): verification time vs regex AST nodes",
+        ),
+        format_table(
+            [point.as_dict() for point in allocations],
+            ["size", "verify_ms", "valid"],
+            title="Figure 9 (right): verification time vs number of allocations",
+        ),
+    ]
+    report("fig9_verification", "\n\n".join(blocks))
+
+    # All sweeps verify successfully (the refinements are valid by construction).
+    assert all(point.valid for point in predicates + allocations + regexes)
+    # Predicates and allocations stay fast and scale roughly linearly.
+    assert predicates[-1].verify_ms < 5_000.0
+    assert allocations[-1].verify_ms < 5_000.0
+    per_item_small = allocations[1].verify_ms / allocations[1].size
+    per_item_large = allocations[-1].verify_ms / allocations[-1].size
+    assert per_item_large < per_item_small * 50
+    # Regex verification is the expensive dimension, as in the paper.
+    assert regexes[-1].verify_ms > predicates[1].verify_ms

@@ -1,0 +1,81 @@
+"""Tenant delegation and verified refinement (§4 of the paper).
+
+An administrator caps all traffic between two hosts at 100 MB/s and
+delegates the policy to a tenant.  The tenant refines it — splitting the
+traffic into HTTP (logged), SSH, and everything else (DPI-inspected) with a
+re-divided bandwidth budget — and the negotiator verifies the refinement.
+A second, greedy refinement that tries to grab 200 MB/s is rejected, as is a
+refinement that drops the logging requirement.
+
+Run with:  python examples/tenant_delegation.py
+"""
+
+from repro import parse_policy
+from repro.negotiator import Negotiator
+from repro.predicates import parse_predicate
+
+GLOBAL_POLICY = """
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* log .* ],
+max(x, 100MB/s)
+"""
+
+VALID_REFINEMENT = """
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80) -> .* log .* ;
+  y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 22) -> .* log .* ;
+  z : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and
+       !(tcp.dst = 22 or tcp.dst = 80)) -> .* log .* dpi .* ],
+max(x, 50MB/s) and max(y, 25MB/s) and max(z, 25MB/s)
+"""
+
+GREEDY_REFINEMENT = """
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* log .* ],
+max(x, 200MB/s)
+"""
+
+PATH_RELAXING_REFINEMENT = """
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* ],
+max(x, 100MB/s)
+"""
+
+
+def main() -> None:
+    administrator = Negotiator(name="administrator", policy=parse_policy(GLOBAL_POLICY))
+    tenant = administrator.delegate_to(
+        "tenant-a", parse_predicate("ip.src = 192.168.1.1")
+    )
+    print(f"Delegated policy to {tenant.name!r}:")
+    print(tenant.policy.to_source())
+
+    print("\n--- Proposing a valid refinement (split by port, re-divide budget) ---")
+    report = tenant.propose(parse_policy(VALID_REFINEMENT))
+    print(f"accepted: {report.valid} "
+          f"(checked {report.checked_pairs} statement pairs, "
+          f"{report.checked_clauses} bandwidth clauses)")
+    print(f"tenant now enforces {len(tenant.policy.statements)} statements, "
+          f"total cap {tenant.total_cap().human()}")
+
+    print("\n--- Proposing a greedy refinement (200 MB/s) ---")
+    report = tenant.propose(parse_policy(GREEDY_REFINEMENT))
+    print(f"accepted: {report.valid}")
+    for violation in report.violations:
+        print(f"  rejected because: {violation}")
+
+    print("\n--- Proposing a refinement that drops the logging requirement ---")
+    report = tenant.propose(parse_policy(PATH_RELAXING_REFINEMENT))
+    print(f"accepted: {report.valid}")
+    for violation in report.violations:
+        print(f"  rejected because: {violation}")
+
+    print("\n--- Run-time bandwidth re-allocation (no recompilation needed) ---")
+    from repro.units import Bandwidth
+
+    report = tenant.reallocate_caps(
+        {"x": Bandwidth.mb_per_sec(80), "y": Bandwidth.mb_per_sec(10),
+         "z": Bandwidth.mb_per_sec(10)}
+    )
+    print(f"shift 30 MB/s from y/z to x: accepted = {report.valid}, "
+          f"total cap still {tenant.total_cap().human()}")
+
+
+if __name__ == "__main__":
+    main()

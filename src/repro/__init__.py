@@ -1,0 +1,66 @@
+"""Merlin: a language for provisioning network resources — Python reproduction.
+
+This package reproduces the Merlin system (Soulé et al., CoNEXT 2014): a
+declarative policy language for software-defined networks, a compiler that
+turns policies into forwarding paths, middlebox placements, and bandwidth
+allocations, negotiators for dynamic adaptation and verified delegation, and
+the substrates the system depends on (predicate logic, automata over network
+locations, topology models, an LP/MIP solver layer, code generation for
+switches/middleboxes/hosts, and a flow-level network simulator standing in
+for the paper's hardware testbed).
+
+Quickstart::
+
+    from repro import compile_policy, fat_tree
+
+    topology = fat_tree(4)
+    result = compile_policy(policy_source, topology, placements={"dpi": [...]})
+    print(result.instructions.counts())
+"""
+
+from .core import (
+    CompilationResult,
+    MerlinCompiler,
+    PathSelectionHeuristic,
+    Policy,
+    Statement,
+    compile_policy,
+    parse_policy,
+)
+from .negotiator import Negotiator, delegate, verify_refinement
+from .topology import (
+    Topology,
+    balanced_tree,
+    dumbbell,
+    fat_tree,
+    linear,
+    single_switch,
+    stanford_campus,
+    topology_zoo_like,
+)
+from .units import Bandwidth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationResult",
+    "MerlinCompiler",
+    "PathSelectionHeuristic",
+    "Policy",
+    "Statement",
+    "compile_policy",
+    "parse_policy",
+    "Negotiator",
+    "delegate",
+    "verify_refinement",
+    "Topology",
+    "balanced_tree",
+    "dumbbell",
+    "fat_tree",
+    "linear",
+    "single_switch",
+    "stanford_campus",
+    "topology_zoo_like",
+    "Bandwidth",
+    "__version__",
+]

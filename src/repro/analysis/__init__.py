@@ -1,0 +1,6 @@
+"""Reporting helpers shared by the benchmarks and examples."""
+
+from .reporting import format_series, format_table
+from .stats import mean, percentile, stdev, summarize
+
+__all__ = ["format_series", "format_table", "mean", "percentile", "stdev", "summarize"]

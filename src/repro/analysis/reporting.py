@@ -1,0 +1,69 @@
+"""Plain-text table and series formatting.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and readable in a
+terminal (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    title: str = "",
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows of dictionaries as an aligned text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = [str(column) for column in columns]
+    body = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header[i].rjust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "x",
+    title: str = "",
+    max_points: int = 20,
+) -> str:
+    """Render one or more y-series against a shared x-axis as a text table.
+
+    Long series are downsampled to at most ``max_points`` evenly spaced
+    samples so benchmark output stays readable.
+    """
+    n = len(xs)
+    if n == 0:
+        return title
+    if n > max_points:
+        step = max(1, n // max_points)
+        indices = list(range(0, n, step))
+        if indices[-1] != n - 1:
+            indices.append(n - 1)
+    else:
+        indices = list(range(n))
+    rows = []
+    for index in indices:
+        row: Dict[str, object] = {x_label: xs[index]}
+        for name, values in series.items():
+            row[name] = values[index] if index < len(values) else ""
+        rows.append(row)
+    return format_table(rows, [x_label, *series.keys()], title=title)

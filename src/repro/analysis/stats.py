@@ -1,0 +1,51 @@
+"""Tiny statistics helpers used by benchmarks and EXPERIMENTS.md generation."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((value - centre) ** 2 for value in values) / len(values))
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """A compact summary: mean, standard deviation, min, median, p95, max."""
+    ordered = sorted(values)
+    return {
+        "count": float(len(ordered)),
+        "mean": mean(ordered),
+        "stdev": stdev(ordered),
+        "min": ordered[0] if ordered else 0.0,
+        "median": percentile(ordered, 0.5),
+        "p95": percentile(ordered, 0.95),
+        "max": ordered[-1] if ordered else 0.0,
+    }

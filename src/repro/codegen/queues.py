@@ -1,0 +1,57 @@
+"""Switch queue configuration for bandwidth guarantees.
+
+Bandwidth guarantees are enforced with per-port quality-of-service queues on
+the switches along the guaranteed path: each switch-to-switch hop of the path
+gets a queue whose minimum rate is the statement's guaranteed rate (and whose
+maximum rate is the statement's cap, when one exists).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from ..core.allocation import PathAssignment, RateAllocation
+from ..topology.graph import Topology
+from .instructions import QueueConfig
+
+
+class QueueAllocator:
+    """Assigns queue identifiers per (switch, port) pair."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, str], itertools.count] = {}
+
+    def next_queue_id(self, switch: str, port: str) -> int:
+        key = (switch, port)
+        if key not in self._counters:
+            self._counters[key] = itertools.count(1)
+        return next(self._counters[key])
+
+
+def queues_for_path(
+    topology: Topology,
+    assignment: PathAssignment,
+    allocation: RateAllocation,
+    allocator: Optional[QueueAllocator] = None,
+) -> List[QueueConfig]:
+    """Queue configurations for one guaranteed statement's path."""
+    if allocation.guarantee is None:
+        return []
+    allocator = allocator or QueueAllocator()
+    configs: List[QueueConfig] = []
+    for source, target in assignment.links():
+        if not topology.has_node(source) or not topology.node(source).is_switch:
+            continue
+        queue_id = allocator.next_queue_id(source, target)
+        configs.append(
+            QueueConfig(
+                switch=source,
+                port=target,
+                queue_id=queue_id,
+                min_rate=allocation.guarantee,
+                max_rate=allocation.cap,
+                statement_id=assignment.statement_id,
+            )
+        )
+    return configs

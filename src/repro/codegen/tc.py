@@ -1,0 +1,81 @@
+"""End-host ``tc`` command generation.
+
+Rate limits (``max`` clauses) are enforced at the sending host with an HTB
+class whose ceiling is the cap; guarantees additionally install an HTB class
+with the guaranteed rate so host-local contention cannot starve the
+guaranteed traffic before it reaches the network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.allocation import RateAllocation
+from ..core.ast import Statement
+from ..predicates.ast import And, FieldTest, Predicate
+from ..topology.graph import Topology
+from .instructions import TcCommand
+
+#: Predicate fields renderable as tc u32 selectors.
+_TC_SELECTORS = {
+    "ip.src": "ip src",
+    "ip.dst": "ip dst",
+    "ip.proto": "ip protocol",
+    "tcp.src": "ip sport",
+    "tcp.dst": "ip dport",
+    "udp.src": "ip sport",
+    "udp.dst": "ip dport",
+}
+
+
+def _selectors(predicate: Predicate) -> Tuple[Tuple[str, str], ...]:
+    selectors = []
+
+    def walk(node: Predicate) -> None:
+        if isinstance(node, FieldTest) and node.field in _TC_SELECTORS:
+            selectors.append((_TC_SELECTORS[node.field], str(node.value)))
+        elif isinstance(node, And):
+            walk(node.left)
+            walk(node.right)
+
+    walk(predicate)
+    return tuple(selectors)
+
+
+def tc_for_statement(
+    topology: Topology,
+    statement: Statement,
+    allocation: RateAllocation,
+    source_host: Optional[str],
+    interface: str = "eth0",
+) -> List[TcCommand]:
+    """``tc`` commands for one statement, installed at its source host."""
+    if source_host is None or not topology.has_node(source_host):
+        return []
+    if not topology.node(source_host).is_host:
+        return []
+    commands: List[TcCommand] = []
+    selectors = _selectors(statement.predicate)
+    if allocation.cap is not None:
+        commands.append(
+            TcCommand(
+                host=source_host,
+                interface=interface,
+                rate=allocation.cap,
+                kind="cap",
+                match=selectors,
+                statement_id=statement.identifier,
+            )
+        )
+    if allocation.guarantee is not None:
+        commands.append(
+            TcCommand(
+                host=source_host,
+                interface=interface,
+                rate=allocation.guarantee,
+                kind="guarantee",
+                match=selectors,
+                statement_id=statement.identifier,
+            )
+        )
+    return commands

@@ -1,0 +1,231 @@
+"""The Merlin compiler (§3): localize, provision, and generate code.
+
+:class:`MerlinCompiler` performs the three essential tasks described in the
+paper: translating global policies into locally-enforceable ones
+(localization), determining forwarding paths / function placements /
+bandwidth allocations (provisioning via the MIP for guaranteed traffic and
+sink trees or product-graph BFS for best-effort traffic), and generating
+low-level instructions for switches, middleboxes, and end hosts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..codegen.generator import CodeGenerator
+from ..errors import ProvisioningError
+from ..regex.ast import Dot, Regex, Star
+from ..topology.graph import Topology
+from ..units import Bandwidth
+from .allocation import (
+    CompilationResult,
+    CompilationStatistics,
+    PathAssignment,
+    RateAllocation,
+)
+from .ast import Policy
+from .localization import LocalRates, localize
+from .logical import build_logical_topology, infer_endpoints
+from .parser import parse_policy
+from .preprocessor import preprocess
+from .provisioning import PathSelectionHeuristic, provision
+from .sink_tree import compute_sink_trees
+
+
+def _is_unconstrained_path(path: Regex) -> bool:
+    """Whether a path expression is the universal ``.*`` (no constraint)."""
+    return isinstance(path, Star) and isinstance(path.operand, Dot)
+
+
+@dataclass
+class MerlinCompiler:
+    """Compiles Merlin policies against a physical topology.
+
+    ``placements`` maps packet-processing function names (``"dpi"``,
+    ``"nat"``, ...) to the locations able to host them — the auxiliary input
+    described in §3.2.  ``heuristic`` selects the path-selection objective,
+    ``overlap`` selects how the pre-processor treats overlapping statement
+    predicates, and ``generate_code`` can be disabled for pure provisioning
+    benchmarks.
+    """
+
+    topology: Topology
+    placements: Mapping[str, Iterable[str]] = field(default_factory=dict)
+    heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO
+    overlap: str = "reject"
+    add_catch_all: bool = True
+    generate_code: bool = True
+    localization_weights: Optional[Mapping[str, float]] = None
+    solver: Optional[object] = None
+
+    def compile(self, policy: Union[str, Policy]) -> CompilationResult:
+        """Compile a policy (source text or AST) into a :class:`CompilationResult`."""
+        total_start = time.perf_counter()
+        if isinstance(policy, str):
+            policy = parse_policy(policy, topology=self.topology)
+
+        preprocessed = preprocess(
+            policy, overlap=self.overlap, add_catch_all=self.add_catch_all
+        ).policy
+        local_rates = localize(preprocessed, weights=self.localization_weights)
+
+        endpoints: Dict[str, Tuple[Optional[str], Optional[str]]] = {}
+        for statement in preprocessed.statements:
+            endpoints[statement.identifier] = infer_endpoints(statement, self.topology)
+
+        guaranteed = [
+            statement
+            for statement in preprocessed.statements
+            if local_rates[statement.identifier].is_guaranteed
+        ]
+        best_effort = [
+            statement
+            for statement in preprocessed.statements
+            if not local_rates[statement.identifier].is_guaranteed
+        ]
+
+        # --- Guaranteed traffic: logical topologies + MIP (§3.2) -------------
+        lp_construction_seconds = 0.0
+        construction_start = time.perf_counter()
+        logical_topologies = {}
+        for statement in guaranteed:
+            source, destination = endpoints[statement.identifier]
+            if source is None or destination is None:
+                raise ProvisioningError(
+                    f"statement {statement.identifier!r} requests a bandwidth "
+                    "guarantee but its source/destination hosts cannot be "
+                    "determined from its predicate or path expression"
+                )
+            logical_topologies[statement.identifier] = build_logical_topology(
+                statement,
+                self.topology,
+                self.placements,
+                source=source,
+                destination=destination,
+            )
+        lp_construction_seconds += time.perf_counter() - construction_start
+
+        provisioning = provision(
+            guaranteed,
+            logical_topologies,
+            local_rates,
+            self.topology,
+            self.placements,
+            heuristic=self.heuristic,
+            solver=self.solver,
+        )
+        lp_construction_seconds += provisioning.lp_construction_seconds
+
+        paths: Dict[str, PathAssignment] = dict(provisioning.paths)
+        infeasible: List[str] = []
+
+        # --- Best-effort traffic: sink trees and product-graph BFS (§3.3) ----
+        rateless_start = time.perf_counter()
+        needs_sink_trees = any(
+            _is_unconstrained_path(statement.path) for statement in best_effort
+        )
+        sink_trees = compute_sink_trees(self.topology) if needs_sink_trees else {}
+        for statement in best_effort:
+            if _is_unconstrained_path(statement.path):
+                continue
+            source, destination = endpoints[statement.identifier]
+            logical = build_logical_topology(
+                statement,
+                self.topology,
+                self.placements,
+                source=source,
+                destination=destination,
+            )
+            found = logical.find_path()
+            if found is None:
+                infeasible.append(statement.identifier)
+                continue
+            paths[statement.identifier] = PathAssignment(
+                statement_id=statement.identifier,
+                path=tuple(found),
+                function_placements=_best_effort_placements(
+                    statement.path, found, self.placements, self.topology
+                ),
+                guaranteed_rate=None,
+            )
+        rateless_seconds = time.perf_counter() - rateless_start
+
+        rates = {
+            identifier: RateAllocation.from_local_rates(local)
+            for identifier, local in local_rates.items()
+        }
+
+        # --- Code generation (§3.4) -------------------------------------------
+        codegen_seconds = 0.0
+        instructions = None
+        if self.generate_code:
+            codegen_start = time.perf_counter()
+            instructions = CodeGenerator(topology=self.topology).generate(
+                preprocessed,
+                paths,
+                rates,
+                sink_trees,
+                endpoints=endpoints,
+                infeasible_statements=tuple(infeasible),
+            )
+            codegen_seconds = time.perf_counter() - codegen_start
+
+        statistics = CompilationStatistics(
+            lp_construction_seconds=lp_construction_seconds,
+            lp_solve_seconds=provisioning.lp_solve_seconds,
+            rateless_seconds=rateless_seconds,
+            codegen_seconds=codegen_seconds,
+            total_seconds=time.perf_counter() - total_start,
+            num_statements=len(preprocessed.statements),
+            num_guaranteed_statements=len(guaranteed),
+            num_mip_variables=provisioning.num_variables,
+            num_mip_constraints=provisioning.num_constraints,
+        )
+
+        result = CompilationResult(
+            policy=preprocessed,
+            paths=paths,
+            rates=rates,
+            sink_trees=sink_trees,
+            instructions=instructions,
+            statistics=statistics,
+            link_reservations=provisioning.link_reservations,
+        )
+        result.attach_link_capacities(
+            {
+                tuple(sorted((link.source, link.target))): link.capacity
+                for link in self.topology.links()
+            }
+        )
+        return result
+
+
+def _best_effort_placements(
+    path_expression: Regex,
+    location_path: List[str],
+    placements: Mapping[str, Iterable[str]],
+    topology: Topology,
+) -> Dict[str, str]:
+    """Function placements for a best-effort path (same greedy rule as the MIP)."""
+    from .provisioning import _assign_functions
+
+    return _assign_functions(path_expression, location_path, placements, topology)
+
+
+def compile_policy(
+    policy: Union[str, Policy],
+    topology: Topology,
+    placements: Optional[Mapping[str, Iterable[str]]] = None,
+    heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
+    **options,
+) -> CompilationResult:
+    """One-call compilation: build a :class:`MerlinCompiler` and run it."""
+    compiler = MerlinCompiler(
+        topology=topology,
+        placements=placements or {},
+        heuristic=heuristic,
+        **options,
+    )
+    return compiler.compile(policy)

@@ -1,0 +1,111 @@
+"""Tokeniser for the Merlin policy surface syntax.
+
+One lexer serves the whole policy grammar: statement lists, predicates, path
+expressions, bandwidth formulas, and the set/``foreach`` syntactic sugar.
+Rates (``50MB/s``, ``1Gbps``), MAC addresses, IPv4 addresses, and qualified
+field names (``tcp.dst``) are recognised as single tokens so that the parser
+never has to re-assemble them, and so that the lone ``.`` of path expressions
+is never confused with the dots inside addresses and field names.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import LexerError
+
+#: Words with special meaning; they are lexed as ``KEYWORD`` tokens.
+KEYWORDS = frozenset(
+    {
+        "and",
+        "or",
+        "max",
+        "min",
+        "true",
+        "false",
+        "foreach",
+        "in",
+        "cross",
+        "at",
+    }
+)
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"(#|//)[^\n]*"),
+    ("RATE", r"\d+(?:\.\d+)?\s*(?:[KMGT]?B/s|[kmgt]?bps|[KMGT]bps|[KMGT]Bps)"),
+    ("MAC", r"[0-9a-fA-F]{1,2}(?::[0-9a-fA-F]{1,2}){5}"),
+    ("IP", r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}"),
+    ("FIELD", r"[A-Za-z_][A-Za-z0-9_]*\.[A-Za-z_][A-Za-z0-9_]*"),
+    ("HEX", r"0x[0-9a-fA-F]+"),
+    ("NUMBER", r"\d+(?:\.\d+)?"),
+    ("ARROW", r"->"),
+    ("ASSIGN", r":="),
+    ("NEQ", r"!="),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_\-]*"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("COLON", r":"),
+    ("PLUS", r"\+"),
+    ("STAR", r"\*"),
+    ("DOT", r"\."),
+    ("BANG", r"!"),
+    ("PIPE", r"\|"),
+    ("EQUALS", r"="),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with source position for error reporting."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.text == word
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise Merlin policy source, skipping whitespace and comments."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _MASTER_RE.match(source, position)
+        if match is None:
+            raise LexerError(
+                f"unexpected character {source[position]!r}",
+                line=line,
+                column=position - line_start + 1,
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        column = position - line_start + 1
+        if kind in ("WS", "COMMENT"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + text.rfind("\n") + 1
+        else:
+            if kind == "IDENT" and text in KEYWORDS:
+                kind = "KEYWORD"
+            tokens.append(Token(kind=kind, text=text, line=line, column=column))
+        position = match.end()
+    return tokens

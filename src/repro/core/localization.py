@@ -1,0 +1,142 @@
+"""Localization of bandwidth formulas (§3.1).
+
+Aggregate Presburger terms such as ``max(x + y, 50MB/s)`` would require
+distributed state to enforce exactly.  Merlin therefore rewrites each
+aggregate clause into per-statement *local* clauses that collectively imply
+the original: by default the rate is divided equally among the identifiers
+(the running example's ``max(x + y, 50MB/s)`` becomes ``max(x, 25MB/s) and
+max(y, 25MB/s)``), but callers may supply their own split weights.  The
+negotiators of §4 later adjust these static splits at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..errors import PolicyError
+from ..units import Bandwidth
+from .ast import (
+    FAnd,
+    FMax,
+    FMin,
+    FNot,
+    FOr,
+    Formula,
+    FTrue,
+    Policy,
+    formula_clauses,
+)
+
+
+@dataclass
+class LocalRates:
+    """The localized bandwidth constraints of a single statement.
+
+    ``guarantee`` is the statement's minimum reserved rate (``r_i_min`` in
+    the MIP; ``None`` means best-effort).  ``cap`` is the statement's maximum
+    rate (``None`` means it may burst to line rate).
+    """
+
+    identifier: str
+    guarantee: Optional[Bandwidth] = None
+    cap: Optional[Bandwidth] = None
+
+    @property
+    def is_guaranteed(self) -> bool:
+        return self.guarantee is not None and self.guarantee.bps_value > 0
+
+    def merge_cap(self, rate: Bandwidth) -> None:
+        """Keep the most restrictive (smallest) cap."""
+        if self.cap is None or rate < self.cap:
+            self.cap = rate
+
+    def merge_guarantee(self, rate: Bandwidth) -> None:
+        """Keep the strongest (largest) guarantee."""
+        if self.guarantee is None or rate > self.guarantee:
+            self.guarantee = rate
+
+
+def localize(
+    policy: Policy,
+    weights: Optional[Mapping[str, float]] = None,
+) -> Dict[str, LocalRates]:
+    """Localize the policy formula into per-statement rates.
+
+    ``weights`` optionally assigns a relative share to each statement
+    identifier; identifiers absent from the mapping get weight 1.  The
+    default (no weights) splits every aggregate clause equally, as described
+    in §3.1.
+
+    Only conjunctions of ``max``/``min`` clauses can be enforced locally;
+    ``or`` and ``!`` at the top level are rejected, mirroring the fragment
+    the paper's compiler supports.
+    """
+    rates: Dict[str, LocalRates] = {
+        statement.identifier: LocalRates(identifier=statement.identifier)
+        for statement in policy.statements
+    }
+    for clause in formula_clauses(policy.formula):
+        _localize_clause(clause, rates, weights or {})
+    return rates
+
+
+def _localize_clause(
+    clause: Formula, rates: Dict[str, LocalRates], weights: Mapping[str, float]
+) -> None:
+    if isinstance(clause, FTrue):
+        return
+    if isinstance(clause, (FOr, FNot)):
+        raise PolicyError(
+            "bandwidth formulas with top-level 'or' or '!' cannot be localized; "
+            "only conjunctions of max/min clauses are enforceable"
+        )
+    if isinstance(clause, FAnd):
+        _localize_clause(clause.left, rates, weights)
+        _localize_clause(clause.right, rates, weights)
+        return
+    if not isinstance(clause, (FMax, FMin)):
+        raise PolicyError(f"unknown formula clause: {clause!r}")
+
+    identifiers = list(clause.term.identifiers)
+    unknown = [name for name in identifiers if name not in rates]
+    if unknown:
+        raise PolicyError(
+            f"formula references undefined statement identifiers: {unknown}"
+        )
+    shares = _shares(identifiers, weights)
+    for identifier in identifiers:
+        local_rate = clause.rate * shares[identifier]
+        if isinstance(clause, FMax):
+            rates[identifier].merge_cap(local_rate)
+        else:
+            rates[identifier].merge_guarantee(local_rate)
+
+
+def _shares(identifiers: Sequence[str], weights: Mapping[str, float]) -> Dict[str, float]:
+    """Normalise split weights over the identifiers of one clause."""
+    raw = {name: float(weights.get(name, 1.0)) for name in identifiers}
+    total = sum(raw.values())
+    if total <= 0:
+        raise PolicyError("localization weights must sum to a positive value")
+    return {name: value / total for name, value in raw.items()}
+
+
+def localized_formula(rates: Mapping[str, LocalRates]) -> Formula:
+    """Rebuild a (localized) formula from per-statement rates.
+
+    The result is the conjunction of one ``max`` and/or ``min`` clause per
+    statement, which by construction implies the original global formula.
+    Used when re-emitting delegated policies.
+    """
+    from .ast import BandwidthTerm, formula_and
+
+    clauses = []
+    for identifier in sorted(rates):
+        local = rates[identifier]
+        term = BandwidthTerm(identifiers=(identifier,))
+        if local.cap is not None:
+            clauses.append(FMax(term, local.cap))
+        if local.guarantee is not None:
+            clauses.append(FMin(term, local.guarantee))
+    return formula_and(*clauses)

@@ -1,0 +1,381 @@
+"""Logical topology construction (§3.2, Figure 2).
+
+For each statement the compiler builds a directed graph ``G_i`` whose paths
+correspond exactly to physical forwarding paths that satisfy the statement's
+path expression (Lemma 1).  The construction is the product of the physical
+topology with the statement's automaton:
+
+* the path expression is first rewritten over locations only by substituting
+  packet-processing function names with the union of their candidate
+  locations,
+* the rewritten expression is compiled to a compact DFA (a special case of
+  the NFA ``M_i`` in the paper; determinising keeps the product small and
+  makes successor lookups O(1)),
+* the vertex set is ``{s_i, t_i} ∪ (L × Q_i)`` restricted to vertices that
+  are reachable from ``s_i`` and can reach ``t_i``,
+* there is an edge ``(u, q) → (v, q')`` iff ``u = v`` or ``(u, v)`` is a
+  physical link, and ``q' = δ(q, v)``.
+
+When the statement's endpoints are known (from its predicate or supplied
+explicitly), the automaton is intersected with ``src .* dst`` so that ``G_i``
+only contains paths that actually carry the statement's traffic from its
+source to its destination.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..errors import ProvisioningError
+from ..regex.ast import DOT, Regex, Symbol, concat, star
+from ..regex.dfa import DFA
+from ..regex.minimize import minimize
+from ..regex.nfa import NFA
+from ..regex.substitution import functions_used, substitute_functions
+from ..topology.graph import Topology
+from .ast import Statement
+
+#: Logical-topology vertices: the universal source/sink or a (location, state) pair.
+SOURCE = ("__source__", -1)
+SINK = ("__sink__", -2)
+Vertex = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class LogicalEdge:
+    """A directed edge of the logical topology.
+
+    ``physical_link`` is the undirected physical link the edge maps onto
+    (``None`` for source/sink edges and for "stay at the same location"
+    edges).  ``location`` is the location processed when traversing the edge
+    (the ``v`` of the construction), used to recover the forwarding path and
+    the function placements from a MIP solution.
+    """
+
+    source: Vertex
+    target: Vertex
+    location: str
+    physical_link: Optional[Tuple[str, str]] = None
+
+
+@dataclass
+class LogicalTopology:
+    """The product graph ``G_i`` for one statement."""
+
+    statement_id: str
+    source_location: Optional[str]
+    destination_location: Optional[str]
+    vertices: Set[Vertex] = field(default_factory=set)
+    edges: List[LogicalEdge] = field(default_factory=list)
+    _out: Dict[Vertex, List[LogicalEdge]] = field(default_factory=dict)
+    _in: Dict[Vertex, List[LogicalEdge]] = field(default_factory=dict)
+    _by_link: Dict[Tuple[str, str], List[LogicalEdge]] = field(default_factory=dict)
+
+    def add_edge(self, edge: LogicalEdge) -> None:
+        self.edges.append(edge)
+        self.vertices.add(edge.source)
+        self.vertices.add(edge.target)
+        self._out.setdefault(edge.source, []).append(edge)
+        self._in.setdefault(edge.target, []).append(edge)
+        if edge.physical_link is not None:
+            key = tuple(sorted(edge.physical_link))
+            self._by_link.setdefault(key, []).append(edge)
+
+    def out_edges(self, vertex: Vertex) -> List[LogicalEdge]:
+        return self._out.get(vertex, [])
+
+    def in_edges(self, vertex: Vertex) -> List[LogicalEdge]:
+        return self._in.get(vertex, [])
+
+    def edges_for_link(self, u: str, v: str) -> List[LogicalEdge]:
+        """All edges of ``G_i`` that map onto the physical link ``(u, v)`` — ``E_i(u, v)``."""
+        return self._by_link.get(tuple(sorted((u, v))), [])
+
+    def physical_links_used(self) -> Set[Tuple[str, str]]:
+        return set(self._by_link)
+
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def find_path(self) -> Optional[List[str]]:
+        """A shortest source-to-sink path, as a sequence of physical locations.
+
+        Used for best-effort statements with path constraints (no MIP needed)
+        and as a feasibility probe for guaranteed statements.
+        """
+        predecessors: Dict[Vertex, LogicalEdge] = {}
+        queue = collections.deque([SOURCE])
+        visited = {SOURCE}
+        while queue:
+            vertex = queue.popleft()
+            for edge in self.out_edges(vertex):
+                if edge.target in visited:
+                    continue
+                predecessors[edge.target] = edge
+                if edge.target == SINK:
+                    return self._reconstruct(predecessors)
+                visited.add(edge.target)
+                queue.append(edge.target)
+        return None
+
+    def _reconstruct(self, predecessors: Dict[Vertex, LogicalEdge]) -> List[str]:
+        locations: List[str] = []
+        vertex = SINK
+        while vertex != SOURCE:
+            edge = predecessors[vertex]
+            if vertex != SINK:
+                locations.append(edge.location)
+            vertex = edge.source
+        locations.reverse()
+        return locations
+
+    def is_feasible(self) -> bool:
+        """Whether any physical path satisfies the statement's constraints."""
+        return self.find_path() is not None
+
+
+def build_logical_topology(
+    statement: Statement,
+    topology: Topology,
+    placements: Mapping[str, Iterable[str]],
+    source: Optional[str] = None,
+    destination: Optional[str] = None,
+) -> LogicalTopology:
+    """Build ``G_i`` for one statement.
+
+    ``source`` and ``destination`` optionally pin the statement's endpoints;
+    when omitted they are inferred from the statement's predicate by
+    :func:`infer_endpoints` at the compiler level and passed in here.
+    """
+    locations = topology.locations()
+    rewritten = substitute_functions(statement.path, placements, locations)
+    if source is not None and destination is not None:
+        rewritten = _pin_endpoints(rewritten, source, destination)
+    automaton = minimize(_build_automaton(rewritten))
+    live = _live_states(automaton)
+    if automaton.start not in live:
+        # The language is empty: no physical path can satisfy the statement.
+        return LogicalTopology(
+            statement_id=statement.identifier,
+            source_location=source,
+            destination_location=destination,
+        )
+
+    logical = LogicalTopology(
+        statement_id=statement.identifier,
+        source_location=source,
+        destination_location=destination,
+    )
+
+    # Breadth-first expansion from the universal source.
+    queue: collections.deque = collections.deque()
+    seen: Set[Vertex] = set()
+
+    def push(vertex: Vertex) -> None:
+        if vertex not in seen:
+            seen.add(vertex)
+            queue.append(vertex)
+
+    start_locations = [source] if source is not None else locations
+    for location in start_locations:
+        state = automaton.step(automaton.start, location)
+        if state not in live:
+            continue
+        vertex = (location, state)
+        logical.add_edge(LogicalEdge(source=SOURCE, target=vertex, location=location))
+        push(vertex)
+
+    while queue:
+        location, state = queue.popleft()
+        vertex = (location, state)
+        if state in automaton.accepting and (
+            destination is None or location == destination
+        ):
+            logical.add_edge(
+                LogicalEdge(source=vertex, target=SINK, location=location)
+            )
+        neighbors = topology.neighbors(location)
+        for next_location in [location, *neighbors]:
+            next_state = automaton.step(state, next_location)
+            if next_state not in live:
+                continue
+            next_vertex = (next_location, next_state)
+            if next_vertex == vertex:
+                continue
+            physical_link = (
+                None
+                if next_location == location
+                else (location, next_location)
+            )
+            logical.add_edge(
+                LogicalEdge(
+                    source=vertex,
+                    target=next_vertex,
+                    location=next_location,
+                    physical_link=physical_link,
+                )
+            )
+            push(next_vertex)
+    _prune_dead_vertices(logical)
+    return logical
+
+
+def infer_endpoints(
+    statement: Statement, topology: Topology
+) -> Tuple[Optional[str], Optional[str]]:
+    """Infer the statement's (source, destination) hosts.
+
+    The predicate is scanned for ``eth.src``/``eth.dst`` (matched against
+    host MAC addresses) and ``ip.src``/``ip.dst`` (matched against host IP
+    addresses).  If the predicate does not pin an endpoint, the path
+    expression's first/last explicit symbols are used when they name hosts.
+    """
+    from ..predicates.transform import atoms
+
+    source: Optional[str] = None
+    destination: Optional[str] = None
+    for field_name, value in atoms(statement.predicate):
+        if field_name == "eth.src":
+            node = topology.host_by_mac(str(value))
+            source = node.name if node else source
+        elif field_name == "eth.dst":
+            node = topology.host_by_mac(str(value))
+            destination = node.name if node else destination
+        elif field_name == "ip.src":
+            source = _host_by_ip(topology, str(value)) or source
+        elif field_name == "ip.dst":
+            destination = _host_by_ip(topology, str(value)) or destination
+    if source is None or destination is None:
+        boundary = _regex_boundary_symbols(statement.path, topology)
+        if source is None:
+            source = boundary[0]
+        if destination is None:
+            destination = boundary[1]
+    return source, destination
+
+
+def _host_by_ip(topology: Topology, ip: str) -> Optional[str]:
+    for node in topology.hosts():
+        if node.ip == ip:
+            return node.name
+    return None
+
+
+def _regex_boundary_symbols(
+    path: Regex, topology: Topology
+) -> Tuple[Optional[str], Optional[str]]:
+    """First/last mandatory symbols of a path expression, if they are locations."""
+    shortest = None
+    try:
+        from ..regex.operations import shortest_accepted
+
+        shortest = shortest_accepted(path)
+    except Exception:  # pragma: no cover - defensive; regexes here are small
+        shortest = None
+    if not shortest:
+        return None, None
+    first = shortest[0] if topology.has_node(shortest[0]) else None
+    last = shortest[-1] if topology.has_node(shortest[-1]) else None
+    return first, last
+
+
+def _pin_endpoints(expression: Regex, source: str, destination: str) -> Regex:
+    """Intersect the path language with "starts at source, ends at destination".
+
+    Instead of a DFA intersection, the endpoint constraint is expressed as a
+    regex and conjoined structurally: the logical topology uses the DFA of
+    the *intersection*, computed below via the product construction.
+    """
+    endpoints = concat(Symbol(source), star(DOT), Symbol(destination))
+    return _RegexIntersection(expression, endpoints)
+
+
+@dataclass(frozen=True)
+class _RegexIntersection(Regex):
+    """Internal marker node: the intersection of two path languages.
+
+    It never appears in user-facing ASTs; :func:`_build_automaton` recognises
+    it and compiles it with the DFA product construction.  ``NFA.from_regex``
+    cannot handle it, so the logical-topology builder intercepts it first.
+    """
+
+    left: Regex
+    right: Regex
+
+    def children(self):
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def __str__(self) -> str:
+        return f"({self.left}) & ({self.right})"
+
+
+def _build_automaton(expression: Regex) -> DFA:
+    if isinstance(expression, _RegexIntersection):
+        left = _build_automaton(expression.left)
+        right = _build_automaton(expression.right)
+        return left.intersect(right)
+    return DFA.from_nfa(NFA.from_regex(expression))
+
+
+def _live_states(automaton: DFA) -> FrozenSet[int]:
+    """States from which an accepting state is reachable."""
+    reverse: Dict[int, Set[int]] = {state: set() for state in automaton.states()}
+    for state in automaton.states():
+        successors = set(automaton.explicit_transitions(state).values())
+        successors.add(automaton.default_transition(state))
+        for successor in successors:
+            reverse.setdefault(successor, set()).add(state)
+    live: Set[int] = set()
+    queue = collections.deque(automaton.accepting)
+    live |= set(automaton.accepting)
+    while queue:
+        state = queue.popleft()
+        for predecessor in reverse.get(state, ()):
+            if predecessor not in live:
+                live.add(predecessor)
+                queue.append(predecessor)
+    return frozenset(live)
+
+
+def _prune_dead_vertices(logical: LogicalTopology) -> None:
+    """Remove vertices (and their edges) that cannot reach the sink.
+
+    The forward construction only adds vertices reachable from the source;
+    a backward sweep removes those that cannot reach the sink, keeping the
+    MIP small.
+    """
+    if SINK not in logical.vertices:
+        logical.vertices.clear()
+        logical.edges.clear()
+        logical._out.clear()
+        logical._in.clear()
+        logical._by_link.clear()
+        return
+    can_reach: Set[Vertex] = {SINK}
+    queue = collections.deque([SINK])
+    while queue:
+        vertex = queue.popleft()
+        for edge in logical.in_edges(vertex):
+            if edge.source not in can_reach:
+                can_reach.add(edge.source)
+                queue.append(edge.source)
+    kept_edges = [
+        edge
+        for edge in logical.edges
+        if edge.source in can_reach and edge.target in can_reach
+    ]
+    logical.vertices.clear()
+    logical.edges.clear()
+    logical._out.clear()
+    logical._in.clear()
+    logical._by_link.clear()
+    for edge in kept_edges:
+        logical.add_edge(edge)

@@ -1,0 +1,329 @@
+"""Bandwidth provisioning for guaranteed traffic (§3.2).
+
+Statements whose localized rates include a guarantee are provisioned by
+solving a mixed-integer program over the union of their logical topologies —
+a single-path multi-commodity-flow variant:
+
+* one {0,1} decision variable ``x_e`` per logical edge (Equation 1 enforces
+  a single source-to-sink path per statement via flow conservation),
+* one continuous variable ``r_uv`` per physical link for the fraction of its
+  capacity reserved (Equation 2),
+* ``r_max`` / ``R_max`` tracking the maximum reserved fraction / amount on
+  any link (Equations 3 and 4), with ``r_max <= 1`` guaranteeing that no
+  link is over-subscribed (Equation 5).
+
+Three optimisation criteria are supported (Figure 3): weighted shortest
+path, min-max ratio, and min-max reserved.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ProvisioningError
+from ..lp.expr import LinExpr
+from ..lp.model import Model, Objective
+from ..lp.result import SolveStatus
+from ..regex.ast import Regex, Symbol
+from ..regex.substitution import functions_used
+from ..topology.graph import Topology
+from ..units import Bandwidth
+from .allocation import PathAssignment
+from .ast import Statement
+from .localization import LocalRates
+from .logical import SINK, SOURCE, LogicalEdge, LogicalTopology
+
+#: Rates are expressed in Mbps inside the MIP to keep coefficients well-scaled.
+_MBPS = 1e6
+
+
+class PathSelectionHeuristic(enum.Enum):
+    """The optimisation criterion used to break ties among feasible assignments."""
+
+    WEIGHTED_SHORTEST_PATH = "weighted-shortest-path"
+    MIN_MAX_RATIO = "min-max-ratio"
+    MIN_MAX_RESERVED = "min-max-reserved"
+
+
+@dataclass
+class ProvisioningResult:
+    """The outcome of the guaranteed-traffic provisioning stage."""
+
+    paths: Dict[str, PathAssignment]
+    link_reservations: Dict[Tuple[str, str], Bandwidth]
+    max_utilization: float
+    max_reservation: Bandwidth
+    lp_construction_seconds: float
+    lp_solve_seconds: float
+    num_variables: int
+    num_constraints: int
+
+
+def provision(
+    statements: Sequence[Statement],
+    logical_topologies: Mapping[str, LogicalTopology],
+    rates: Mapping[str, LocalRates],
+    topology: Topology,
+    placements: Mapping[str, Iterable[str]],
+    heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
+    solver=None,
+) -> ProvisioningResult:
+    """Select paths and reserve bandwidth for the guaranteed statements.
+
+    ``statements`` must all have a guarantee in ``rates`` and a pre-built
+    logical topology in ``logical_topologies``.  Raises
+    :class:`ProvisioningError` when no assignment satisfies the constraints
+    (for example, when the requested guarantees exceed every allowed path's
+    capacity).
+    """
+    if not statements:
+        return ProvisioningResult(
+            paths={},
+            link_reservations={},
+            max_utilization=0.0,
+            max_reservation=Bandwidth(0.0),
+            lp_construction_seconds=0.0,
+            lp_solve_seconds=0.0,
+            num_variables=0,
+            num_constraints=0,
+        )
+
+    construction_start = time.perf_counter()
+    model = Model(name="merlin-provisioning")
+    edge_variables: Dict[str, Dict[int, object]] = {}
+
+    # Per-statement edge variables and flow conservation (Equation 1).
+    for statement in statements:
+        logical = logical_topologies[statement.identifier]
+        if logical.num_edges() == 0:
+            raise ProvisioningError(
+                f"statement {statement.identifier!r} has no feasible path "
+                "satisfying its path expression"
+            )
+        variables: Dict[int, object] = {}
+        for index, edge in enumerate(logical.edges):
+            variables[index] = model.add_binary(
+                f"x__{statement.identifier}__{index}"
+            )
+        edge_variables[statement.identifier] = variables
+        for vertex in logical.vertices:
+            outgoing = LinExpr.sum_of(
+                variables[index]
+                for index, edge in enumerate(logical.edges)
+                if edge.source == vertex
+            )
+            incoming = LinExpr.sum_of(
+                variables[index]
+                for index, edge in enumerate(logical.edges)
+                if edge.target == vertex
+            )
+            if vertex == SOURCE:
+                balance = 1.0
+            elif vertex == SINK:
+                balance = -1.0
+            else:
+                balance = 0.0
+            model.add_constraint(
+                (outgoing - incoming).equals(balance),
+                name=f"flow__{statement.identifier}__{vertex[0]}_{vertex[1]}",
+            )
+
+    # Link reservation variables and Equations 2-5.
+    reservation_fraction: Dict[Tuple[str, str], object] = {}
+    r_max = model.add_continuous("r_max", lower=0.0, upper=1.0)
+    big_r_max = model.add_continuous("R_max", lower=0.0)
+    links = topology.links()
+    for link in links:
+        key = tuple(sorted((link.source, link.target)))
+        capacity_mbps = link.capacity.bps_value / _MBPS
+        r_uv = model.add_continuous(f"r__{key[0]}__{key[1]}", lower=0.0, upper=1.0)
+        reservation_fraction[key] = r_uv
+        reserved_terms = LinExpr()
+        for statement in statements:
+            guarantee = rates[statement.identifier].guarantee
+            if guarantee is None:
+                continue
+            guarantee_mbps = guarantee.bps_value / _MBPS
+            logical = logical_topologies[statement.identifier]
+            for index, edge in enumerate(logical.edges):
+                if edge.physical_link is None:
+                    continue
+                if tuple(sorted(edge.physical_link)) == key:
+                    reserved_terms = reserved_terms + (
+                        edge_variables[statement.identifier][index] * guarantee_mbps
+                    )
+        # Equation 2: r_uv * c_uv = sum of reserved guarantees on the link.
+        model.add_constraint(
+            (r_uv * capacity_mbps - reserved_terms).equals(0.0),
+            name=f"reserve__{key[0]}__{key[1]}",
+        )
+        # Equation 3: r_max >= r_uv.
+        model.add_constraint(r_max - r_uv >= 0.0, name=f"rmax__{key[0]}__{key[1]}")
+        # Equation 4: R_max >= r_uv * c_uv.
+        model.add_constraint(
+            big_r_max - r_uv * capacity_mbps >= 0.0,
+            name=f"Rmax__{key[0]}__{key[1]}",
+        )
+    # Equation 5 is expressed through the [0, 1] bound on r_max and r_uv.
+
+    # Objective.
+    if heuristic is PathSelectionHeuristic.WEIGHTED_SHORTEST_PATH:
+        objective = LinExpr()
+        for statement in statements:
+            guarantee = rates[statement.identifier].guarantee
+            weight = (guarantee.bps_value / _MBPS) if guarantee else 1.0
+            logical = logical_topologies[statement.identifier]
+            for index, edge in enumerate(logical.edges):
+                if edge.physical_link is not None:
+                    objective = objective + (
+                        edge_variables[statement.identifier][index] * weight
+                    )
+        model.minimize(objective)
+    elif heuristic is PathSelectionHeuristic.MIN_MAX_RATIO:
+        model.minimize(r_max + _edge_tiebreaker(edge_variables))
+    elif heuristic is PathSelectionHeuristic.MIN_MAX_RESERVED:
+        model.minimize(big_r_max + _edge_tiebreaker(edge_variables))
+    else:  # pragma: no cover - the enum is exhaustive
+        raise ProvisioningError(f"unknown heuristic {heuristic!r}")
+
+    lp_construction_seconds = time.perf_counter() - construction_start
+
+    solve_start = time.perf_counter()
+    result = model.solve(solver)
+    lp_solve_seconds = time.perf_counter() - solve_start
+    if result.status is not SolveStatus.OPTIMAL:
+        raise ProvisioningError(
+            "bandwidth provisioning is infeasible: the requested guarantees "
+            f"cannot be satisfied (solver status: {result.status.value})"
+        )
+
+    paths: Dict[str, PathAssignment] = {}
+    for statement in statements:
+        logical = logical_topologies[statement.identifier]
+        selected = [
+            logical.edges[index]
+            for index, variable in edge_variables[statement.identifier].items()
+            if result.value_of(variable) > 0.5
+        ]
+        location_path = _extract_path(selected)
+        placements_for_statement = _assign_functions(
+            statement.path, location_path, placements, topology
+        )
+        paths[statement.identifier] = PathAssignment(
+            statement_id=statement.identifier,
+            path=tuple(location_path),
+            function_placements=placements_for_statement,
+            guaranteed_rate=rates[statement.identifier].guarantee,
+        )
+
+    link_reservations: Dict[Tuple[str, str], Bandwidth] = {}
+    max_utilization = 0.0
+    max_reservation = Bandwidth(0.0)
+    for link in links:
+        key = tuple(sorted((link.source, link.target)))
+        fraction = result.value_of(reservation_fraction[key])
+        reserved = Bandwidth(max(0.0, fraction) * link.capacity.bps_value)
+        link_reservations[key] = reserved
+        max_utilization = max(max_utilization, fraction)
+        if reserved.bps_value > max_reservation.bps_value:
+            max_reservation = reserved
+
+    return ProvisioningResult(
+        paths=paths,
+        link_reservations=link_reservations,
+        max_utilization=max_utilization,
+        max_reservation=max_reservation,
+        lp_construction_seconds=lp_construction_seconds,
+        lp_solve_seconds=lp_solve_seconds,
+        num_variables=model.num_variables(),
+        num_constraints=model.num_constraints(),
+    )
+
+
+def _edge_tiebreaker(edge_variables: Mapping[str, Mapping[int, object]]) -> LinExpr:
+    """A tiny penalty on every selected edge.
+
+    The min-max objectives are indifferent to how many edges a statement
+    uses, so without a tiebreaker the MIP may return a path plus spurious
+    disconnected cycles (which satisfy flow conservation).  A negligible
+    per-edge cost removes them without affecting the min-max optimum.
+    """
+    expression = LinExpr()
+    for variables in edge_variables.values():
+        for variable in variables.values():
+            expression = expression + (variable * 1e-6)
+    return expression
+
+
+def _extract_path(selected_edges: Sequence[LogicalEdge]) -> List[str]:
+    """Reconstruct the location sequence from the selected logical edges."""
+    by_source = {edge.source: edge for edge in selected_edges}
+    locations: List[str] = []
+    vertex = SOURCE
+    visited = set()
+    while vertex != SINK:
+        if vertex in visited:
+            raise ProvisioningError("MIP solution contains a cycle; cannot extract path")
+        visited.add(vertex)
+        edge = by_source.get(vertex)
+        if edge is None:
+            raise ProvisioningError("MIP solution does not form a source-to-sink path")
+        if edge.target != SINK:
+            locations.append(edge.location)
+        vertex = edge.target
+    return locations
+
+
+def _assign_functions(
+    path_expression: Regex,
+    location_path: Sequence[str],
+    placements: Mapping[str, Iterable[str]],
+    topology: Topology,
+) -> Dict[str, str]:
+    """Choose which location on the path hosts each packet-processing function.
+
+    Function occurrences are assigned greedily in the order they appear in
+    the path expression, scanning the location path left to right; a location
+    may serve several consecutive functions (the logical topology's "stay"
+    edges make it appear multiple times in the path).
+    """
+    functions = functions_used(path_expression, topology.locations())
+    if not functions:
+        return {}
+    occurrences = _function_occurrences(path_expression, functions)
+    assignments: Dict[str, str] = {}
+    cursor = 0
+    for function in occurrences:
+        candidates = set(placements.get(function, ()))
+        for index in range(cursor, len(location_path)):
+            if location_path[index] in candidates:
+                assignments[function] = location_path[index]
+                cursor = index
+                break
+        else:
+            # Fall back to any candidate on the path (ordering could not be
+            # respected, which can happen when the MIP path revisits nodes).
+            for location in location_path:
+                if location in candidates:
+                    assignments.setdefault(function, location)
+                    break
+    return assignments
+
+
+def _function_occurrences(expression: Regex, functions) -> List[str]:
+    """Function names in left-to-right order of appearance in the expression."""
+    ordered: List[str] = []
+
+    def walk(node: Regex) -> None:
+        if isinstance(node, Symbol):
+            if node.name in functions and node.name not in ordered:
+                ordered.append(node.name)
+            return
+        for child in node.children():
+            walk(child)
+
+    walk(expression)
+    return ordered

@@ -1,0 +1,37 @@
+"""Experiment drivers reproducing the paper's evaluation (§6).
+
+Each module builds the workloads, policies, and topologies of one experiment
+and returns plain data (rows / series) that the benchmark harness under
+``benchmarks/`` times and prints, and that ``EXPERIMENTS.md`` records.
+
+* :mod:`repro.experiments.policy_builders` — the five Figure 4 policies and
+  generic all-pairs / guaranteed-subset policy construction.
+* :mod:`repro.experiments.expressiveness` — Figure 4 (policy size vs emitted
+  instruction counts).
+* :mod:`repro.experiments.applications` — the Hadoop (§6.2) and Ring Paxos
+  (Figure 5) end-to-end experiments on the flow simulator.
+* :mod:`repro.experiments.zoo` — Figure 6 (Topology-Zoo compilation times).
+* :mod:`repro.experiments.scaling` — Figures 7 and 8 (fat-tree / balanced-tree
+  compilation-time scaling).
+* :mod:`repro.experiments.verification` — Figure 9 (negotiator verification
+  scaling).
+* :mod:`repro.experiments.adaptation` — Figure 10 (AIMD / MMFS adaptation).
+"""
+
+from .policy_builders import (
+    all_pairs_policy,
+    bandwidth_policy,
+    combination_policy,
+    firewall_policy,
+    monitoring_policy,
+    stanford_with_middleboxes,
+)
+
+__all__ = [
+    "all_pairs_policy",
+    "bandwidth_policy",
+    "combination_policy",
+    "firewall_policy",
+    "monitoring_policy",
+    "stanford_with_middleboxes",
+]

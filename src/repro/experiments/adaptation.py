@@ -1,0 +1,72 @@
+"""Figure 10 — dynamic adaptation with AIMD and max-min fair sharing.
+
+Figure 10 (a): two hosts share a bottleneck under the AIMD negotiators —
+the classic sawtooth whose sum stays below the shared capacity.
+
+Figure 10 (b): four hosts (h1→h2 and h3→h4) under the max-min fair-sharing
+negotiators — when only one flow is active it receives the whole bottleneck;
+when both are active they converge to equal shares; when one stops the other
+reclaims the capacity.  The demand schedule below mirrors the staggered
+start/stop visible in the paper's plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..negotiator.aimd import AimdAllocator, AimdTrace
+from ..negotiator.mmfs import MaxMinFairAllocator
+from ..units import Bandwidth
+
+
+@dataclass
+class AdaptationTraces:
+    """The two time series of Figure 10."""
+
+    aimd: AimdTrace
+    mmfs: AimdTrace
+
+
+def run_aimd_experiment(
+    capacity: Bandwidth = Bandwidth.mbps(600),
+    steps: int = 70,
+) -> AimdTrace:
+    """Figure 10 (a): two tenants under AIMD negotiation."""
+    allocator = AimdAllocator(
+        capacity=capacity,
+        additive_increase=Bandwidth.mbps(25),
+        multiplicative_decrease=0.5,
+        initial_allocation=Bandwidth.mbps(100),
+    )
+    allocator.add_tenant("h1-h2")
+    allocator.add_tenant("h3-h4")
+    return allocator.run(steps=steps, step_seconds=1.0)
+
+
+def run_mmfs_experiment(
+    capacity: Bandwidth = Bandwidth.mbps(450),
+    steps: int = 30,
+) -> AimdTrace:
+    """Figure 10 (b): two flows under max-min fair sharing with staggered demands."""
+    allocator = MaxMinFairAllocator(capacity=capacity)
+    schedule: List[Dict[str, Bandwidth]] = []
+    for step in range(steps):
+        updates: Dict[str, Bandwidth] = {}
+        if step == 0:
+            # Only h1->h2 is active at the start.
+            updates["h1-h2"] = Bandwidth.mbps(450)
+            updates["h3-h4"] = Bandwidth(0)
+        if step == 10:
+            # h3->h4 starts: both converge to the fair share.
+            updates["h3-h4"] = Bandwidth.mbps(450)
+        if step == 22:
+            # h1->h2 finishes: h3->h4 reclaims the capacity.
+            updates["h1-h2"] = Bandwidth(0)
+        schedule.append(updates)
+    return allocator.run(schedule, step_seconds=1.0)
+
+
+def run_adaptation_experiment() -> AdaptationTraces:
+    """Both panels of Figure 10."""
+    return AdaptationTraces(aimd=run_aimd_experiment(), mmfs=run_mmfs_experiment())

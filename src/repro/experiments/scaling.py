@@ -1,0 +1,141 @@
+"""Figures 7 and 8: compilation-time scaling on tree topologies.
+
+The paper measures, for balanced trees and fat trees of increasing size,
+
+* the time to provide all-pairs connectivity with no guarantees (the
+  "rateless" path: sink trees), and
+* the time to provide connectivity when 5% of the traffic classes receive
+  bandwidth guarantees (LP construction plus LP solution time).
+
+Each measurement produces one row of the Figure 7 table: number of traffic
+classes, hosts, switches, LP construction time, LP solution time, and the
+rateless solution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.compiler import MerlinCompiler
+from ..topology.generators import balanced_tree, fat_tree
+from ..topology.graph import Topology
+from ..units import Bandwidth
+from .policy_builders import all_pairs_policy
+
+
+@dataclass
+class ScalingRow:
+    """One row of the Figure 7 table (or one point of a Figure 8 curve)."""
+
+    topology: str
+    traffic_classes: int
+    hosts: int
+    switches: int
+    guaranteed_classes: int
+    lp_construction_ms: float
+    lp_solve_ms: float
+    rateless_ms: float
+    total_ms: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "topology": self.topology,
+            "traffic_classes": self.traffic_classes,
+            "hosts": self.hosts,
+            "switches": self.switches,
+            "guaranteed": self.guaranteed_classes,
+            "lp_construction_ms": self.lp_construction_ms,
+            "lp_solve_ms": self.lp_solve_ms,
+            "rateless_ms": self.rateless_ms,
+            "total_ms": self.total_ms,
+        }
+
+
+def measure_compilation(
+    topology: Topology,
+    guarantee_fraction: float = 0.0,
+    guarantee: Bandwidth = Bandwidth.mbps(1),
+    max_classes: Optional[int] = None,
+    seed: int = 0,
+) -> ScalingRow:
+    """Compile an all-pairs policy on ``topology`` and record the timing row."""
+    policy = all_pairs_policy(
+        topology,
+        guarantee_fraction=guarantee_fraction,
+        guarantee=guarantee,
+        seed=seed,
+        max_classes=max_classes,
+    )
+    compiler = MerlinCompiler(
+        topology=topology,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+    )
+    result = compiler.compile(policy)
+    statistics = result.statistics
+    return ScalingRow(
+        topology=topology.name,
+        traffic_classes=len(policy.statements),
+        hosts=topology.num_hosts(),
+        switches=topology.num_switches(),
+        guaranteed_classes=statistics.num_guaranteed_statements,
+        lp_construction_ms=statistics.lp_construction_seconds * 1000.0,
+        lp_solve_ms=statistics.lp_solve_seconds * 1000.0,
+        rateless_ms=statistics.rateless_seconds * 1000.0,
+        total_ms=statistics.total_seconds * 1000.0,
+    )
+
+
+def figure7_table(
+    arities: Sequence[int] = (4, 6),
+    guarantee_fraction: float = 0.05,
+    max_classes: Optional[int] = None,
+) -> List[ScalingRow]:
+    """The Figure 7 table: fat trees with 5% of traffic classes guaranteed."""
+    rows = []
+    for arity in arities:
+        topology = fat_tree(arity)
+        rows.append(
+            measure_compilation(
+                topology,
+                guarantee_fraction=guarantee_fraction,
+                max_classes=max_classes,
+            )
+        )
+    return rows
+
+
+def figure8_curves(
+    kind: str = "fat-tree",
+    sizes: Sequence[int] = (4, 6),
+    guarantee_fraction: float = 0.05,
+    max_classes: Optional[int] = None,
+) -> Dict[str, List[ScalingRow]]:
+    """The Figure 8 curves: best-effort vs 5%-guaranteed compilation times.
+
+    ``kind`` selects the topology family (``"fat-tree"`` or
+    ``"balanced-tree"``); ``sizes`` are fat-tree arities or balanced-tree
+    depths.  Returns two series keyed ``"best-effort"`` and ``"guaranteed"``.
+    """
+    best_effort: List[ScalingRow] = []
+    guaranteed: List[ScalingRow] = []
+    for size in sizes:
+        if kind == "fat-tree":
+            topology = fat_tree(size)
+        elif kind == "balanced-tree":
+            topology = balanced_tree(depth=size, fanout=3, hosts_per_leaf=2)
+        else:
+            raise ValueError(f"unknown topology kind {kind!r}")
+        best_effort.append(
+            measure_compilation(topology, guarantee_fraction=0.0, max_classes=max_classes)
+        )
+        guaranteed.append(
+            measure_compilation(
+                topology,
+                guarantee_fraction=guarantee_fraction,
+                max_classes=max_classes,
+            )
+        )
+    return {"best-effort": best_effort, "guaranteed": guaranteed}

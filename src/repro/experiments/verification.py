@@ -1,0 +1,157 @@
+"""Figure 9: negotiator verification scaling.
+
+Three sweeps, each measuring the time to verify a delegated policy against
+its parent while one dimension grows:
+
+1. the number of (refined) predicates / statements,
+2. the complexity of the path regular expressions (AST node count),
+3. the number of bandwidth allocations.
+
+The paper's observations to reproduce: predicate and allocation verification
+scale linearly and stay in the millisecond range up to tens of thousands of
+items, while regular-expression verification grows roughly quadratically and
+reaches seconds only for expressions with on the order of a thousand AST
+nodes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.ast import BandwidthTerm, FMax, Policy, Statement, formula_and
+from ..negotiator.verification import verify_refinement
+from ..predicates.ast import FieldTest, pred_and, pred_not, pred_or
+from ..regex.ast import Regex, Symbol, concat, star, union
+from ..regex.parser import parse_path_expression
+from ..units import Bandwidth
+
+
+@dataclass
+class VerificationPoint:
+    """One point of a Figure 9 curve."""
+
+    size: int
+    verify_ms: float
+    valid: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"size": self.size, "verify_ms": self.verify_ms, "valid": self.valid}
+
+
+def _timed_verification(original: Policy, refined: Policy) -> VerificationPoint:
+    start = time.perf_counter()
+    report = verify_refinement(original, refined)
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return VerificationPoint(size=0, verify_ms=elapsed_ms, valid=report.valid)
+
+
+def sweep_predicates(counts: Sequence[int] = (10, 100, 1000, 5000)) -> List[VerificationPoint]:
+    """Grow the number of refined statements partitioning one original statement.
+
+    The original policy matches all TCP traffic; the refinement splits it by
+    destination port into ``n`` disjoint statements (plus one catch-all), the
+    same shape as the §4.1 example scaled up.
+    """
+    original = Policy(
+        statements=(
+            Statement("all", FieldTest("ip.proto", 6), parse_path_expression(".*")),
+        )
+    )
+    points: List[VerificationPoint] = []
+    for count in counts:
+        ports = list(range(1, count + 1))
+        statements = [
+            Statement(
+                f"p{port}",
+                pred_and(FieldTest("ip.proto", 6), FieldTest("tcp.dst", port)),
+                parse_path_expression(".*"),
+            )
+            for port in ports
+        ]
+        remainder = pred_and(
+            FieldTest("ip.proto", 6),
+            pred_not(pred_or(*[FieldTest("tcp.dst", port) for port in ports])),
+        )
+        statements.append(
+            Statement("rest", remainder, parse_path_expression(".*"))
+        )
+        refined = Policy(statements=tuple(statements))
+        point = _timed_verification(original, refined)
+        point.size = count
+        points.append(point)
+    return points
+
+
+def _chain_expression(nodes: int) -> Regex:
+    """A path expression with roughly ``nodes`` AST nodes: ``.* f1 .* f2 ... .*``."""
+    from ..regex.ast import DOT
+
+    expression: Regex = star(DOT)
+    index = 0
+    while expression.size() < nodes:
+        index += 1
+        expression = concat(expression, Symbol(f"f{index}"), star(DOT))
+    return expression
+
+
+def sweep_regex_nodes(sizes: Sequence[int] = (10, 50, 100, 250, 500)) -> List[VerificationPoint]:
+    """Grow the size of the refined statement's path expression.
+
+    The refined expression appends one more required waypoint to the original
+    expression, so inclusion always holds and the measurement isolates the
+    automata work.
+    """
+    points: List[VerificationPoint] = []
+    for size in sizes:
+        original_expression = _chain_expression(size)
+        from ..regex.ast import DOT
+
+        refined_expression = concat(original_expression, Symbol("extra"), star(DOT))
+        original = Policy(
+            statements=(Statement("x", FieldTest("ip.proto", 6), original_expression),)
+        )
+        refined = Policy(
+            statements=(Statement("x", FieldTest("ip.proto", 6), refined_expression),)
+        )
+        point = _timed_verification(original, refined)
+        point.size = refined_expression.size()
+        points.append(point)
+    return points
+
+
+def sweep_allocations(counts: Sequence[int] = (10, 100, 1000, 5000)) -> List[VerificationPoint]:
+    """Grow the number of bandwidth allocations in the refined policy."""
+    points: List[VerificationPoint] = []
+    for count in counts:
+        original_statements = [
+            Statement(
+                f"o{index}",
+                FieldTest("tcp.dst", index + 1),
+                parse_path_expression(".*"),
+            )
+            for index in range(count)
+        ]
+        original = Policy(
+            statements=tuple(original_statements),
+            formula=formula_and(
+                *[
+                    FMax(BandwidthTerm((f"o{index}",)), Bandwidth.mbps(10))
+                    for index in range(count)
+                ]
+            ),
+        )
+        refined = Policy(
+            statements=tuple(original_statements),
+            formula=formula_and(
+                *[
+                    FMax(BandwidthTerm((f"o{index}",)), Bandwidth.mbps(5))
+                    for index in range(count)
+                ]
+            ),
+        )
+        point = _timed_verification(original, refined)
+        point.size = count
+        points.append(point)
+    return points

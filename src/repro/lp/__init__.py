@@ -1,0 +1,35 @@
+"""Linear and mixed-integer programming substrate.
+
+The Merlin compiler encodes bandwidth provisioning as a mixed-integer program
+(Equations 1–5 in §3.2).  The paper solves it with the Gurobi Optimizer; this
+package provides an equivalent, self-contained substitute:
+
+* a small modelling layer (:class:`Variable`, :class:`LinExpr`,
+  :class:`Constraint`, :class:`Model`) in the style of common MIP APIs,
+* a SciPy/HiGHS backend (:mod:`repro.lp.scipy_backend`) that solves models
+  exactly through ``scipy.optimize.milp`` / ``linprog``, and
+* a pure-Python branch-and-bound solver (:mod:`repro.lp.branch_and_bound`)
+  over LP relaxations, usable as an independent cross-check and as a fallback
+  when SciPy's MILP interface is unavailable.
+"""
+
+from .constraint import Constraint, Sense
+from .expr import LinExpr, Variable
+from .model import Model, Objective
+from .result import SolveResult, SolveStatus
+from .scipy_backend import ScipySolver, solve
+from .branch_and_bound import BranchAndBoundSolver
+
+__all__ = [
+    "Constraint",
+    "Sense",
+    "LinExpr",
+    "Variable",
+    "Model",
+    "Objective",
+    "SolveResult",
+    "SolveStatus",
+    "ScipySolver",
+    "BranchAndBoundSolver",
+    "solve",
+]

@@ -1,0 +1,183 @@
+"""A pure-Python branch-and-bound MIP solver.
+
+This backend solves mixed-integer programs by branching on fractional integer
+variables and bounding with LP relaxations solved by ``scipy.optimize.linprog``
+(HiGHS).  It exists for two reasons:
+
+* it is an *independent* implementation against which the SciPy/HiGHS MILP
+  backend is cross-checked in the test suite, and
+* it demonstrates that the Merlin formulation does not depend on a
+  commercial solver — the ablation benchmark compares the two backends on
+  the same provisioning problems.
+
+The solver uses best-first search on the LP relaxation bound with
+most-fractional branching, which is entirely adequate for the path-selection
+MIPs Merlin generates (binary edge variables with network-flow structure).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from ..errors import SolverError
+from .model import Model, StandardForm
+from .result import SolveResult, SolveStatus
+
+_INTEGRALITY_TOLERANCE = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node, ordered by its LP relaxation bound."""
+
+    bound: float
+    sequence: int
+    lower: np.ndarray = field(compare=False)
+    upper: np.ndarray = field(compare=False)
+
+
+class BranchAndBoundSolver:
+    """Best-first branch-and-bound over HiGHS LP relaxations."""
+
+    def __init__(
+        self,
+        time_limit_seconds: Optional[float] = None,
+        max_nodes: int = 200_000,
+        absolute_gap: float = 1e-6,
+    ) -> None:
+        self.time_limit_seconds = time_limit_seconds
+        self.max_nodes = max_nodes
+        self.absolute_gap = absolute_gap
+
+    def solve(self, model: Model) -> SolveResult:
+        """Solve the model; falls back to a single LP solve when it has no integers."""
+        form = model.to_standard_form()
+        started = time.perf_counter()
+        integer_indices = [
+            position for position, flag in enumerate(form.integrality) if flag
+        ]
+        lower = np.array([bound[0] for bound in form.bounds], dtype=float)
+        upper = np.array([bound[1] for bound in form.bounds], dtype=float)
+
+        incumbent: Optional[np.ndarray] = None
+        incumbent_objective = math.inf
+        explored = 0
+        counter = itertools.count()
+
+        root = self._solve_relaxation(form, lower, upper)
+        if root is None:
+            return SolveResult(
+                status=SolveStatus.INFEASIBLE,
+                statistics={"nodes": 1, "solve_seconds": time.perf_counter() - started},
+            )
+        heap: List[_Node] = [_Node(root[1], next(counter), lower, upper)]
+
+        while heap:
+            explored += 1
+            if explored > self.max_nodes:
+                raise SolverError(
+                    f"branch-and-bound exceeded the node limit ({self.max_nodes})"
+                )
+            if (
+                self.time_limit_seconds is not None
+                and time.perf_counter() - started > self.time_limit_seconds
+            ):
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_objective - self.absolute_gap:
+                continue
+            relaxation = self._solve_relaxation(form, node.lower, node.upper)
+            if relaxation is None:
+                continue
+            solution, objective = relaxation
+            if objective >= incumbent_objective - self.absolute_gap:
+                continue
+            branch_index = self._most_fractional(solution, integer_indices)
+            if branch_index is None:
+                # Integer-feasible: new incumbent.
+                incumbent = solution
+                incumbent_objective = objective
+                continue
+            value = solution[branch_index]
+            floor_value = math.floor(value)
+            # Down branch: x <= floor(value).
+            down_upper = node.upper.copy()
+            down_upper[branch_index] = floor_value
+            if down_upper[branch_index] >= node.lower[branch_index] - 1e-12:
+                heapq.heappush(
+                    heap, _Node(objective, next(counter), node.lower.copy(), down_upper)
+                )
+            # Up branch: x >= ceil(value).
+            up_lower = node.lower.copy()
+            up_lower[branch_index] = floor_value + 1
+            if up_lower[branch_index] <= node.upper[branch_index] + 1e-12:
+                heapq.heappush(
+                    heap, _Node(objective, next(counter), up_lower, node.upper.copy())
+                )
+
+        elapsed = time.perf_counter() - started
+        if incumbent is None:
+            return SolveResult(
+                status=SolveStatus.INFEASIBLE,
+                statistics={"nodes": explored, "solve_seconds": elapsed},
+            )
+        values = {
+            variable: float(value) for variable, value in zip(form.variables, incumbent)
+        }
+        for position in integer_indices:
+            variable = form.variables[position]
+            values[variable] = float(round(values[variable]))
+        objective_value = incumbent_objective
+        if form.maximize:
+            objective_value = -objective_value
+        return SolveResult(
+            status=SolveStatus.OPTIMAL,
+            values=values,
+            objective=objective_value,
+            statistics={"nodes": explored, "solve_seconds": elapsed},
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _solve_relaxation(
+        form: StandardForm, lower: np.ndarray, upper: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, float]]:
+        """Solve the LP relaxation with the given bounds (``None`` if infeasible)."""
+        outcome = optimize.linprog(
+            c=form.c,
+            A_ub=form.a_ub if form.a_ub.size else None,
+            b_ub=form.b_ub if form.b_ub.size else None,
+            A_eq=form.a_eq if form.a_eq.size else None,
+            b_eq=form.b_eq if form.b_eq.size else None,
+            bounds=list(zip(lower, upper)),
+            method="highs",
+        )
+        if outcome.status == 0:
+            return outcome.x, float(outcome.fun)
+        if outcome.status in (2, 3):
+            return None
+        raise SolverError(f"LP relaxation failed with status {outcome.status}")
+
+    @staticmethod
+    def _most_fractional(
+        solution: np.ndarray, integer_indices: List[int]
+    ) -> Optional[int]:
+        """The integer variable farthest from integrality (``None`` if all integral)."""
+        best_index: Optional[int] = None
+        best_distance = _INTEGRALITY_TOLERANCE
+        for position in integer_indices:
+            value = solution[position]
+            distance = abs(value - round(value))
+            if distance > best_distance:
+                best_distance = distance
+                best_index = position
+        return best_index

@@ -1,0 +1,58 @@
+"""Linear constraints.
+
+A constraint is stored in the normalised form ``expr (<= | >= | ==) 0``: the
+right-hand side is folded into the expression's constant term when the
+constraint is created by comparison operators on :class:`LinExpr`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .expr import LinExpr, Variable
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LESS_EQUAL = "<="
+    GREATER_EQUAL = ">="
+    EQUAL = "=="
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expression SENSE 0``."""
+
+    expression: LinExpr
+    sense: Sense
+    name: Optional[str] = None
+
+    def named(self, name: str) -> "Constraint":
+        """Return the same constraint with a human-readable name attached."""
+        self.name = name
+        return self
+
+    def satisfied(self, assignment: Mapping[Variable, float], tolerance: float = 1e-6) -> bool:
+        """Whether the constraint holds under a variable assignment."""
+        value = self.expression.value(assignment)
+        if self.sense is Sense.LESS_EQUAL:
+            return value <= tolerance
+        if self.sense is Sense.GREATER_EQUAL:
+            return value >= -tolerance
+        return abs(value) <= tolerance
+
+    def violation(self, assignment: Mapping[Variable, float]) -> float:
+        """How far the constraint is from being satisfied (0 when satisfied)."""
+        value = self.expression.value(assignment)
+        if self.sense is Sense.LESS_EQUAL:
+            return max(0.0, value)
+        if self.sense is Sense.GREATER_EQUAL:
+            return max(0.0, -value)
+        return abs(value)
+
+    def __str__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.expression} {self.sense.value} 0"

@@ -1,0 +1,218 @@
+"""The optimisation model: variables, constraints, and an objective.
+
+A :class:`Model` collects decision variables and linear constraints, exposes
+them in the dense standard form consumed by SciPy, and delegates solving to a
+backend (:class:`~repro.lp.scipy_backend.ScipySolver` by default).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import SolverError
+from .constraint import Constraint, Sense
+from .expr import LinExpr, Variable
+
+
+class Objective(enum.Enum):
+    """Optimisation direction."""
+
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
+
+
+@dataclass
+class StandardForm:
+    """Dense standard-form data ready for SciPy.
+
+    Minimise ``c @ x`` subject to ``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq``,
+    and per-variable bounds; ``integrality`` is 1 for integer variables.
+    The objective sign is already flipped for maximisation models.
+    """
+
+    variables: List[Variable]
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: List[Tuple[float, float]]
+    integrality: np.ndarray
+    maximize: bool
+
+
+class Model:
+    """A linear / mixed-integer optimisation model."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: Dict[str, Variable] = {}
+        self._constraints: List[Constraint] = []
+        self._objective: LinExpr = LinExpr()
+        self._direction: Objective = Objective.MINIMIZE
+
+    # -- variables -----------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        lower: float = 0.0,
+        upper: float = math.inf,
+        is_integer: bool = False,
+    ) -> Variable:
+        """Create and register a decision variable with a unique name."""
+        if name in self._variables:
+            raise SolverError(f"duplicate variable name {name!r}")
+        variable = Variable(name=name, lower=lower, upper=upper, is_integer=is_integer)
+        self._variables[name] = variable
+        return variable
+
+    def add_binary(self, name: str) -> Variable:
+        """Create a {0, 1} decision variable."""
+        return self.add_variable(name, lower=0.0, upper=1.0, is_integer=True)
+
+    def add_continuous(self, name: str, lower: float = 0.0, upper: float = math.inf) -> Variable:
+        """Create a continuous, bounded decision variable."""
+        return self.add_variable(name, lower=lower, upper=upper, is_integer=False)
+
+    def variables(self) -> List[Variable]:
+        """All registered variables in insertion order."""
+        return list(self._variables.values())
+
+    def variable(self, name: str) -> Variable:
+        """Look up a variable by name."""
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise SolverError(f"unknown variable {name!r}") from None
+
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def num_integer_variables(self) -> int:
+        return sum(1 for variable in self._variables.values() if variable.is_integer)
+
+    # -- constraints ----------------------------------------------------------
+
+    def add_constraint(self, constraint: Constraint, name: Optional[str] = None) -> Constraint:
+        """Register a constraint built with the expression comparison operators."""
+        if not isinstance(constraint, Constraint):
+            raise SolverError(
+                "add_constraint expects a Constraint; use <=, >= or .equals() on expressions"
+            )
+        if name is not None:
+            constraint.name = name
+        self._constraints.append(constraint)
+        return constraint
+
+    def constraints(self) -> List[Constraint]:
+        return list(self._constraints)
+
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- objective ------------------------------------------------------------
+
+    def set_objective(self, expression: Union[LinExpr, Variable, float], direction: Objective) -> None:
+        """Set the objective expression and optimisation direction."""
+        if isinstance(expression, Variable):
+            expression = expression.to_expr()
+        elif isinstance(expression, (int, float)):
+            expression = LinExpr({}, float(expression))
+        self._objective = expression
+        self._direction = direction
+
+    def minimize(self, expression: Union[LinExpr, Variable, float]) -> None:
+        self.set_objective(expression, Objective.MINIMIZE)
+
+    def maximize(self, expression: Union[LinExpr, Variable, float]) -> None:
+        self.set_objective(expression, Objective.MAXIMIZE)
+
+    @property
+    def objective(self) -> LinExpr:
+        return self._objective
+
+    @property
+    def direction(self) -> Objective:
+        return self._direction
+
+    # -- standard form ----------------------------------------------------------
+
+    def to_standard_form(self) -> StandardForm:
+        """Export the model as dense matrices for SciPy's solvers."""
+        variables = self.variables()
+        index = {variable: position for position, variable in enumerate(variables)}
+        num_vars = len(variables)
+
+        c = np.zeros(num_vars)
+        for variable, coefficient in self._objective.coefficients.items():
+            c[index[variable]] += coefficient
+        maximize = self._direction is Objective.MAXIMIZE
+        if maximize:
+            c = -c
+
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
+        for constraint in self._constraints:
+            row = np.zeros(num_vars)
+            for variable, coefficient in constraint.expression.coefficients.items():
+                if variable not in index:
+                    raise SolverError(
+                        f"constraint references variable {variable.name!r} not in model"
+                    )
+                row[index[variable]] += coefficient
+            rhs = -constraint.expression.constant
+            if constraint.sense is Sense.LESS_EQUAL:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constraint.sense is Sense.GREATER_EQUAL:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, num_vars))
+        a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, num_vars))
+        bounds = [(variable.lower, variable.upper) for variable in variables]
+        integrality = np.array(
+            [1 if variable.is_integer else 0 for variable in variables], dtype=int
+        )
+        return StandardForm(
+            variables=variables,
+            c=c,
+            a_ub=a_ub,
+            b_ub=np.array(ub_rhs, dtype=float),
+            a_eq=a_eq,
+            b_eq=np.array(eq_rhs, dtype=float),
+            bounds=bounds,
+            integrality=integrality,
+            maximize=maximize,
+        )
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(self, solver=None):
+        """Solve the model with the given backend (SciPy/HiGHS by default)."""
+        if solver is None:
+            from .scipy_backend import ScipySolver
+
+            solver = ScipySolver()
+        return solver.solve(self)
+
+    def objective_value(self, assignment) -> float:
+        """Evaluate the objective under an assignment (model direction applied)."""
+        return self._objective.value(assignment)
+
+    def __repr__(self) -> str:
+        return (
+            f"Model({self.name!r}, variables={self.num_variables()}, "
+            f"integer={self.num_integer_variables()}, constraints={self.num_constraints()})"
+        )

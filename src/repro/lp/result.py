@@ -1,0 +1,50 @@
+"""Solve results and status codes for the LP/MIP substrate."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from .expr import Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve attempt."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+    @property
+    def is_optimal(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class SolveResult:
+    """The outcome of solving a model.
+
+    ``values`` maps every model variable to its value in the solution (empty
+    for infeasible/unbounded outcomes).  ``objective`` is the objective value
+    under that assignment.  ``statistics`` carries solver-specific metadata
+    such as node counts or solve time, used by the scalability benchmarks.
+    """
+
+    status: SolveStatus
+    values: Dict[Variable, float] = field(default_factory=dict)
+    objective: Optional[float] = None
+    statistics: Dict[str, float] = field(default_factory=dict)
+
+    def value_of(self, variable: Variable, default: float = 0.0) -> float:
+        """The solution value of a variable (``default`` when absent)."""
+        return self.values.get(variable, default)
+
+    def values_by_name(self) -> Dict[str, float]:
+        """Solution values keyed by variable name (useful for reporting)."""
+        return {variable.name: value for variable, value in self.values.items()}
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status.is_optimal

@@ -1,0 +1,110 @@
+"""SciPy/HiGHS solver backend.
+
+Pure LPs are dispatched to ``scipy.optimize.linprog`` and models with integer
+variables to ``scipy.optimize.milp`` — both are thin wrappers over the HiGHS
+solver, which (like the Gurobi solver used in the paper) is an exact
+branch-and-cut MIP solver, so the path assignments it produces satisfy the
+same constraint system the paper describes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+from scipy import optimize, sparse
+
+from .model import Model, StandardForm
+from .result import SolveResult, SolveStatus
+
+
+class ScipySolver:
+    """Solve :class:`~repro.lp.model.Model` instances with SciPy/HiGHS."""
+
+    def __init__(self, time_limit_seconds: Optional[float] = None, mip_gap: float = 1e-6) -> None:
+        self.time_limit_seconds = time_limit_seconds
+        self.mip_gap = mip_gap
+
+    def solve(self, model: Model) -> SolveResult:
+        """Solve the model, returning a :class:`SolveResult`."""
+        form = model.to_standard_form()
+        started = time.perf_counter()
+        if form.integrality.any():
+            result = self._solve_milp(form)
+        else:
+            result = self._solve_lp(form)
+        result.statistics["solve_seconds"] = time.perf_counter() - started
+        result.statistics["num_variables"] = len(form.variables)
+        result.statistics["num_integer_variables"] = int(form.integrality.sum())
+        return result
+
+    # -- internals -------------------------------------------------------------
+
+    def _solve_lp(self, form: StandardForm) -> SolveResult:
+        outcome = optimize.linprog(
+            c=form.c,
+            A_ub=form.a_ub if form.a_ub.size else None,
+            b_ub=form.b_ub if form.b_ub.size else None,
+            A_eq=form.a_eq if form.a_eq.size else None,
+            b_eq=form.b_eq if form.b_eq.size else None,
+            bounds=form.bounds,
+            method="highs",
+        )
+        return self._wrap(form, outcome.status, outcome.x, outcome.fun)
+
+    def _solve_milp(self, form: StandardForm) -> SolveResult:
+        constraints = []
+        if form.a_ub.size:
+            constraints.append(
+                optimize.LinearConstraint(
+                    sparse.csr_matrix(form.a_ub), -np.inf * np.ones(len(form.b_ub)), form.b_ub
+                )
+            )
+        if form.a_eq.size:
+            constraints.append(
+                optimize.LinearConstraint(
+                    sparse.csr_matrix(form.a_eq), form.b_eq, form.b_eq
+                )
+            )
+        lower = np.array([bound[0] for bound in form.bounds], dtype=float)
+        upper = np.array([bound[1] for bound in form.bounds], dtype=float)
+        options = {"mip_rel_gap": self.mip_gap}
+        if self.time_limit_seconds is not None:
+            options["time_limit"] = self.time_limit_seconds
+        outcome = optimize.milp(
+            c=form.c,
+            constraints=constraints,
+            bounds=optimize.Bounds(lower, upper),
+            integrality=form.integrality,
+            options=options,
+        )
+        return self._wrap(form, outcome.status, outcome.x, outcome.fun)
+
+    @staticmethod
+    def _wrap(form: StandardForm, status_code: int, solution, objective) -> SolveResult:
+        # linprog and milp share status codes: 0 optimal, 2 infeasible, 3 unbounded.
+        if status_code == 0 and solution is not None:
+            values = {
+                variable: float(value) for variable, value in zip(form.variables, solution)
+            }
+            # Snap integer variables that HiGHS returns with tiny numerical noise.
+            for variable in form.variables:
+                if variable.is_integer:
+                    values[variable] = float(round(values[variable]))
+            objective_value = float(objective)
+            if form.maximize:
+                objective_value = -objective_value
+            return SolveResult(
+                status=SolveStatus.OPTIMAL, values=values, objective=objective_value
+            )
+        if status_code == 2:
+            return SolveResult(status=SolveStatus.INFEASIBLE)
+        if status_code == 3:
+            return SolveResult(status=SolveStatus.UNBOUNDED)
+        return SolveResult(status=SolveStatus.ERROR)
+
+
+def solve(model: Model, **solver_options) -> SolveResult:
+    """Convenience wrapper: solve ``model`` with a fresh :class:`ScipySolver`."""
+    return ScipySolver(**solver_options).solve(model)

@@ -1,0 +1,35 @@
+"""Dynamic adaptation with negotiators (§4).
+
+Negotiators are small run-time components that let tenants customise
+delegated policies and let the provider verify that those customisations
+never violate the global policy.  This package implements:
+
+* **delegation** (:mod:`repro.negotiator.delegation`) — projecting a parent
+  policy onto a tenant's scope,
+* **verification** (:mod:`repro.negotiator.verification`) — checking that a
+  refined policy implies the original: predicate coverage, regular-expression
+  language inclusion, and bandwidth-sum implication,
+* **negotiator hierarchy** (:mod:`repro.negotiator.negotiator`) — the tree of
+  negotiators, parent/child delegation, and sibling renegotiation,
+* two run-time allocation schemes: additive-increase multiplicative-decrease
+  (:mod:`repro.negotiator.aimd`) and max-min fair sharing
+  (:mod:`repro.negotiator.mmfs`), used for the adaptation experiment of
+  Figure 10.
+"""
+
+from .aimd import AimdAllocator, AimdTrace
+from .delegation import delegate
+from .mmfs import MaxMinFairAllocator, max_min_fair_share
+from .negotiator import Negotiator
+from .verification import VerificationReport, verify_refinement
+
+__all__ = [
+    "AimdAllocator",
+    "AimdTrace",
+    "delegate",
+    "MaxMinFairAllocator",
+    "max_min_fair_share",
+    "Negotiator",
+    "VerificationReport",
+    "verify_refinement",
+]

@@ -1,0 +1,149 @@
+"""The negotiator hierarchy (§4).
+
+Negotiators form a tree overlaying the network: each negotiator is
+responsible for the network elements in its subtree, parents impose policies
+on children, children may refine their delegated policies as long as the
+refinement implies the parent policy, and siblings may renegotiate bandwidth
+cooperatively as long as the parent's constraints still hold.  Bandwidth
+re-allocation never requires recompiling the global policy, which is what
+makes run-time adaptation cheap (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import DelegationError, VerificationError
+from ..predicates.ast import Predicate
+from ..regex.ast import Regex
+from ..units import Bandwidth
+from ..core.ast import BandwidthTerm, FMax, FMin, Policy, formula_and, formula_clauses
+from .delegation import delegate
+from .verification import VerificationReport, verify_refinement
+
+
+@dataclass
+class Negotiator:
+    """A node of the negotiator tree.
+
+    ``policy`` is the policy this negotiator currently enforces for its
+    subtree.  The root negotiator holds the administrator's global policy;
+    children hold delegated projections, possibly refined by their tenants.
+    """
+
+    name: str
+    policy: Policy
+    parent: Optional["Negotiator"] = None
+    children: Dict[str, "Negotiator"] = field(default_factory=dict)
+
+    # -- delegation -------------------------------------------------------------
+
+    def delegate_to(
+        self,
+        child_name: str,
+        scope_predicate: Predicate,
+        scope_path: Optional[Regex] = None,
+    ) -> "Negotiator":
+        """Create a child negotiator holding the projection of this policy."""
+        if child_name in self.children:
+            raise DelegationError(f"child negotiator {child_name!r} already exists")
+        child_policy = delegate(self.policy, scope_predicate, scope_path)
+        child = Negotiator(name=child_name, policy=child_policy, parent=self)
+        self.children[child_name] = child
+        return child
+
+    # -- refinement -------------------------------------------------------------
+
+    def propose(self, refined: Policy) -> VerificationReport:
+        """A tenant proposes a refined policy for this negotiator's subtree.
+
+        The refinement is verified against the *current* policy; when valid
+        it is adopted (and will constrain any further refinements).
+        """
+        report = verify_refinement(self.policy, refined)
+        if report.valid:
+            self.policy = refined
+        return report
+
+    def propose_or_raise(self, refined: Policy) -> None:
+        """Like :meth:`propose` but raising :class:`VerificationError` on rejection."""
+        report = self.propose(refined)
+        if not report.valid:
+            details = "; ".join(str(violation) for violation in report.violations)
+            raise VerificationError(f"refinement rejected: {details}")
+
+    # -- bandwidth renegotiation ---------------------------------------------------
+
+    def total_cap(self) -> Bandwidth:
+        """The sum of all ``max`` allocations in this negotiator's policy."""
+        total = Bandwidth(0.0)
+        for clause in formula_clauses(self.policy.formula):
+            if isinstance(clause, FMax):
+                total = total + clause.rate
+        return total
+
+    def total_guarantee(self) -> Bandwidth:
+        """The sum of all ``min`` allocations in this negotiator's policy."""
+        total = Bandwidth(0.0)
+        for clause in formula_clauses(self.policy.formula):
+            if isinstance(clause, FMin):
+                total = total + clause.rate
+        return total
+
+    def reallocate_caps(self, new_caps: Dict[str, Bandwidth]) -> VerificationReport:
+        """Redistribute ``max`` allocations across this policy's statements.
+
+        The new per-statement caps replace the existing ``max`` clauses; the
+        resulting policy is verified against the parent's policy (or against
+        the current policy when this is the root), so a reallocation that
+        exceeds the delegated budget is rejected.  Bandwidth re-allocation
+        does not touch predicates or path expressions, so no recompilation of
+        forwarding state is needed.
+        """
+        kept = [
+            clause
+            for clause in formula_clauses(self.policy.formula)
+            if not isinstance(clause, FMax)
+        ]
+        new_clauses = [
+            FMax(BandwidthTerm(identifiers=(identifier,)), rate)
+            for identifier, rate in sorted(new_caps.items())
+        ]
+        candidate = self.policy.with_formula(formula_and(*kept, *new_clauses))
+        reference = self.parent.policy if self.parent is not None else self.policy
+        report = verify_refinement(reference, candidate)
+        if report.valid:
+            self.policy = candidate
+        return report
+
+    # -- tree queries ---------------------------------------------------------------
+
+    def root(self) -> "Negotiator":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        depth = 0
+        node = self
+        while node.parent is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def descendants(self) -> List["Negotiator"]:
+        found: List[Negotiator] = []
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            found.append(node)
+            stack.extend(node.children.values())
+        return found
+
+    def __repr__(self) -> str:
+        return (
+            f"Negotiator({self.name!r}, statements={len(self.policy.statements)}, "
+            f"children={sorted(self.children)})"
+        )

@@ -1,0 +1,41 @@
+"""Predicate evaluation against packets.
+
+Used by the end-host interpreter backend, the flow simulator (to decide which
+statement a flow falls under), and the test suite (to cross-check the symbolic
+satisfiability procedure against concrete packets).
+"""
+
+from __future__ import annotations
+
+from ..errors import FieldError
+from ..packet import Packet
+from .ast import And, FieldTest, Not, Or, PFalse, Predicate, PTrue
+from .fields import normalize_value
+
+
+def matches(predicate: Predicate, packet: Packet) -> bool:
+    """Return ``True`` when ``packet`` satisfies ``predicate``.
+
+    A field test on a header that the packet does not carry evaluates to
+    ``False`` (e.g. ``tcp.dst = 80`` does not match a UDP packet), matching
+    the behaviour of OpenFlow match semantics and of the paper's examples.
+    """
+    if isinstance(predicate, PTrue):
+        return True
+    if isinstance(predicate, PFalse):
+        return False
+    if isinstance(predicate, FieldTest):
+        if predicate.field not in packet:
+            return False
+        try:
+            actual = normalize_value(predicate.field, packet.get(predicate.field))
+        except FieldError:
+            return False
+        return actual == predicate.value
+    if isinstance(predicate, And):
+        return matches(predicate.left, packet) and matches(predicate.right, packet)
+    if isinstance(predicate, Or):
+        return matches(predicate.left, packet) or matches(predicate.right, packet)
+    if isinstance(predicate, Not):
+        return not matches(predicate.operand, packet)
+    raise TypeError(f"unknown predicate node: {predicate!r}")

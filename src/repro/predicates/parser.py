@@ -1,0 +1,172 @@
+"""Concrete-syntax parser for Merlin predicates.
+
+Grammar (precedence low to high)::
+
+    pred   ::= orExpr
+    orExpr ::= andExpr ( 'or' andExpr )*
+    andExpr::= unary ( 'and' unary )*
+    unary  ::= '!' unary | atom
+    atom   ::= '(' pred ')' | 'true' | 'false'
+             | field '=' value | field '!=' value
+
+``field '!=' value`` is syntactic sugar for ``!(field = value)`` — the paper
+uses it in the delegation example of §4.1.  Values may be MAC addresses,
+IPv4 addresses, decimal or hexadecimal numbers, or symbolic protocol names
+(``tcp``, ``udp``, ``ip``); field-specific normalisation is applied by the
+:class:`~repro.predicates.ast.FieldTest` constructor.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ParseError
+from .ast import FALSE, TRUE, FieldTest, Predicate, pred_and, pred_not, pred_or
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<mac>[0-9a-fA-F]{1,2}(?::[0-9a-fA-F]{1,2}){5})
+  | (?P<ip>\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3})
+  | (?P<field>[A-Za-z_][A-Za-z0-9_]*\.[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<hex>0x[0-9a-fA-F]+)
+  | (?P<num>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<neq>!=)
+  | (?P<op>[()=!])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize_predicate(source: str) -> List[_Token]:
+    """Split predicate source into tokens, raising on unrecognised input."""
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r} in predicate", column=position
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _PredicateParser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of predicate", column=len(self._source))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise ParseError(
+                f"expected {text or kind!r} but found {token.text!r}", column=token.position
+            )
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "ident" and token.text == word
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Predicate:
+        predicate = self._or_expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ParseError(
+                f"unexpected trailing input {leftover.text!r} in predicate",
+                column=leftover.position,
+            )
+        return predicate
+
+    def _or_expr(self) -> Predicate:
+        operands = [self._and_expr()]
+        while self._at_keyword("or"):
+            self._advance()
+            operands.append(self._and_expr())
+        return pred_or(*operands) if len(operands) > 1 else operands[0]
+
+    def _and_expr(self) -> Predicate:
+        operands = [self._unary()]
+        while self._at_keyword("and"):
+            self._advance()
+            operands.append(self._unary())
+        return pred_and(*operands) if len(operands) > 1 else operands[0]
+
+    def _unary(self) -> Predicate:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.text == "!":
+            self._advance()
+            return pred_not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Predicate:
+        token = self._advance()
+        if token.kind == "op" and token.text == "(":
+            inner = self._or_expr()
+            self._expect("op", ")")
+            return inner
+        if token.kind == "ident" and token.text == "true":
+            return TRUE
+        if token.kind == "ident" and token.text == "false":
+            return FALSE
+        if token.kind == "field":
+            return self._field_test(token)
+        raise ParseError(
+            f"expected a predicate atom but found {token.text!r}", column=token.position
+        )
+
+    def _field_test(self, field_token: _Token) -> Predicate:
+        operator = self._advance()
+        negated = False
+        if operator.kind == "neq":
+            negated = True
+        elif not (operator.kind == "op" and operator.text == "="):
+            raise ParseError(
+                f"expected '=' or '!=' after field {field_token.text!r}",
+                column=operator.position,
+            )
+        value_token = self._advance()
+        if value_token.kind not in {"mac", "ip", "hex", "num", "ident"}:
+            raise ParseError(
+                f"expected a value after {field_token.text!r}", column=value_token.position
+            )
+        test = FieldTest(field_token.text, value_token.text)
+        return pred_not(test) if negated else test
+
+
+def parse_predicate(source: str) -> Predicate:
+    """Parse predicate concrete syntax into a :class:`Predicate` AST."""
+    return _PredicateParser(tokenize_predicate(source), source).parse()

@@ -1,0 +1,238 @@
+"""Satisfiability, disjointness, and implication for Merlin predicates.
+
+The paper uses the Z3 SMT solver to decide predicate disjointness and
+implication during negotiator verification.  Merlin predicates are
+propositional formulas over equality tests on packet header fields, so full
+SMT machinery is unnecessary; this module implements a small backtracking
+decision procedure specialised to that theory:
+
+* the predicate is put in negation normal form,
+* a depth-first search maintains a per-field environment (either "must equal
+  v" or "must differ from {v1, ..., vk}"),
+* conjunctions push obligations, disjunctions branch with backtracking, and
+* a finite-domain check catches fields whose every value has been excluded
+  (e.g. the 8-value ``vlan.pcp``).
+
+Unlike the obvious DNF expansion, the search handles the conjunctions of
+negated conjunctions produced by totality/coverage checks (``p0 and !p1 and
+... and !pn``) in linear time on the policies Merlin actually generates,
+which is what lets negotiator verification scale to tens of thousands of
+statements (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import PolicyError
+from .ast import (
+    And,
+    FieldTest,
+    Not,
+    Or,
+    PFalse,
+    Predicate,
+    PTrue,
+    pred_and,
+    pred_not,
+    pred_or,
+)
+from .fields import domain_size
+from .transform import to_nnf
+
+#: Safety valve: the number of branch decisions after which the search gives
+#: up and raises (never hit by realistic policies; prevents silent hangs on
+#: adversarial inputs).
+MAX_BRANCH_STEPS = 5_000_000
+
+
+class _Environment:
+    """A partial assignment of header fields with backtracking support."""
+
+    __slots__ = ("fixed", "excluded", "_trail")
+
+    def __init__(self) -> None:
+        self.fixed: Dict[str, object] = {}
+        self.excluded: Dict[str, Set[object]] = {}
+        self._trail: List[Tuple[str, str, object]] = []
+
+    # -- assignment ---------------------------------------------------------
+
+    def mark(self) -> int:
+        """A checkpoint for backtracking."""
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        """Undo every change made after the checkpoint."""
+        while len(self._trail) > mark:
+            kind, field, value = self._trail.pop()
+            if kind == "fix":
+                del self.fixed[field]
+            else:
+                self.excluded[field].discard(value)
+
+    def assert_equal(self, field: str, value: object) -> bool:
+        """Require ``field == value``; returns False on contradiction."""
+        if field in self.fixed:
+            return self.fixed[field] == value
+        if value in self.excluded.get(field, ()):
+            return False
+        self.fixed[field] = value
+        self._trail.append(("fix", field, value))
+        return True
+
+    def assert_not_equal(self, field: str, value: object) -> bool:
+        """Require ``field != value``; returns False on contradiction."""
+        if field in self.fixed:
+            return self.fixed[field] != value
+        exclusions = self.excluded.setdefault(field, set())
+        if value not in exclusions:
+            exclusions.add(value)
+            self._trail.append(("exclude", field, value))
+            size = domain_size(field)
+            if size is not None and len(exclusions) >= size:
+                # Every value of a finite domain is excluded: contradiction.
+                return False
+        return True
+
+
+class _Budget:
+    __slots__ = ("steps",)
+
+    def __init__(self) -> None:
+        self.steps = 0
+
+    def spend(self) -> None:
+        self.steps += 1
+        if self.steps > MAX_BRANCH_STEPS:
+            raise PolicyError(
+                "predicate satisfiability search exceeded its branch budget"
+            )
+
+
+def _search(root: Predicate) -> bool:
+    """Decide satisfiability of an NNF predicate by iterative backtracking.
+
+    The pending obligations form a persistent cons-list ``(goal, rest)`` so
+    that disjunction choice points can resume the exact remaining work in
+    O(1) without copying; the environment records a trail for undo.
+    """
+    env = _Environment()
+    budget = _Budget()
+    goals: Optional[Tuple[Predicate, object]] = (root, None)
+    # Each choice point: (untried branch, goals after resuming, environment mark).
+    choice_points: List[Tuple[Predicate, object, int]] = []
+
+    def backtrack() -> bool:
+        nonlocal goals
+        while choice_points:
+            branch, rest, mark = choice_points.pop()
+            env.undo_to(mark)
+            goals = (branch, rest)
+            return True
+        return False
+
+    while True:
+        if goals is None:
+            return True
+        goal, rest = goals
+        goals = rest
+        budget.spend()
+        if isinstance(goal, PTrue):
+            continue
+        if isinstance(goal, PFalse):
+            if not backtrack():
+                return False
+            continue
+        if isinstance(goal, FieldTest):
+            if not env.assert_equal(goal.field, goal.value):
+                if not backtrack():
+                    return False
+            continue
+        if isinstance(goal, Not):
+            operand = goal.operand
+            if not isinstance(operand, FieldTest):
+                raise PolicyError("satisfiability input is not in negation normal form")
+            if not env.assert_not_equal(operand.field, operand.value):
+                if not backtrack():
+                    return False
+            continue
+        if isinstance(goal, And):
+            goals = (goal.left, (goal.right, goals))
+            continue
+        if isinstance(goal, Or):
+            choice_points.append((goal.right, goals, env.mark()))
+            goals = (goal.left, goals)
+            continue
+        raise PolicyError(f"unknown predicate node: {goal!r}")
+
+
+def is_satisfiable(predicate: Predicate) -> bool:
+    """Return ``True`` if some packet satisfies ``predicate``."""
+    return _search(to_nnf(predicate))
+
+
+def is_disjoint(left: Predicate, right: Predicate) -> bool:
+    """Return ``True`` when no packet matches both predicates."""
+    return not is_satisfiable(pred_and(left, right))
+
+
+def implies(antecedent: Predicate, consequent: Predicate) -> bool:
+    """Return ``True`` when every packet matching ``antecedent`` matches ``consequent``."""
+    return not is_satisfiable(pred_and(antecedent, pred_not(consequent)))
+
+
+def equivalent(left: Predicate, right: Predicate) -> bool:
+    """Return ``True`` when the two predicates match exactly the same packets."""
+    return implies(left, right) and implies(right, left)
+
+
+def overlaps(left: Predicate, right: Predicate) -> bool:
+    """Return ``True`` when some packet matches both predicates."""
+    return not is_disjoint(left, right)
+
+
+def pairwise_disjoint(predicates: Sequence[Predicate]) -> bool:
+    """Return ``True`` when all predicates in the sequence are pairwise disjoint."""
+    items = list(predicates)
+    for index, left in enumerate(items):
+        for right in items[index + 1 :]:
+            if not is_disjoint(left, right):
+                return False
+    return True
+
+
+def find_overlapping_pairs(predicates: Sequence[Predicate]) -> List[tuple]:
+    """Return the index pairs of predicates that overlap (for error messages)."""
+    items = list(predicates)
+    pairs = []
+    for i, left in enumerate(items):
+        for j in range(i + 1, len(items)):
+            if not is_disjoint(left, items[j]):
+                pairs.append((i, j))
+    return pairs
+
+
+def covers(original: Predicate, parts: Iterable[Predicate]) -> bool:
+    """Return ``True`` when the union of ``parts`` covers all of ``original``.
+
+    This is the totality condition on tenant refinements from §4.1: "all
+    packets identified by the original policy must be identified by the set
+    of new policies."
+    """
+    union = pred_or(*list(parts))
+    return implies(original, union)
+
+
+def is_partition(original: Predicate, parts: Sequence[Predicate]) -> bool:
+    """Return ``True`` when ``parts`` is a valid refinement partition of ``original``.
+
+    A valid partition (i) covers the original predicate, (ii) never matches a
+    packet outside the original, and (iii) has pairwise-disjoint members.
+    """
+    part_list = list(parts)
+    if not covers(original, part_list):
+        return False
+    if not all(implies(part, original) for part in part_list):
+        return False
+    return pairwise_disjoint(part_list)

@@ -1,0 +1,221 @@
+"""Abstract syntax for Merlin path expressions.
+
+The grammar (Figure 1)::
+
+    a ::= . | c | a a | a|a | a* | !a
+
+where ``c`` is a path element: a network location or the name of a packet
+processing function.  The AST is shared by the compiler (which builds the
+logical topology from it) and by the negotiator verification machinery (which
+decides language inclusion between a tenant's refined expression and the
+original).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+
+class Regex:
+    """Base class for path-expression AST nodes."""
+
+    def children(self) -> Tuple["Regex", ...]:
+        """Immediate sub-expressions (empty for leaves)."""
+        return ()
+
+    def size(self) -> int:
+        """Number of AST nodes; Figure 9 uses this as the complexity metric."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def symbols(self) -> FrozenSet[str]:
+        """All explicit symbols (locations or function names) mentioned."""
+        result: set = set()
+        for child in self.children():
+            result |= child.symbols()
+        return frozenset(result)
+
+    def nullable(self) -> bool:
+        """Whether the empty sequence is in the language."""
+        raise NotImplementedError
+
+    # Operator sugar used by tests and examples.
+    def __add__(self, other: "Regex") -> "Regex":
+        return concat(self, other)
+
+    def __or__(self, other: "Regex") -> "Regex":
+        return union(self, other)
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language (matches nothing)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "∅"
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The language containing only the empty sequence."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Dot(Regex):
+    """Matches any single location (the ``.`` of the surface syntax)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return "."
+
+
+@dataclass(frozen=True)
+class Symbol(Regex):
+    """Matches a single specific location or packet-processing function."""
+
+    name: str
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def nullable(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Sequential composition of two path expressions."""
+
+    left: Regex
+    right: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() and self.right.nullable()
+
+    def __str__(self) -> str:
+        return f"{self._wrap(self.left)} {self._wrap(self.right)}"
+
+    @staticmethod
+    def _wrap(node: Regex) -> str:
+        if isinstance(node, Union):
+            return f"({node})"
+        return str(node)
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    """Alternation between two path expressions."""
+
+    left: Regex
+    right: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.left, self.right)
+
+    def nullable(self) -> bool:
+        return self.left.nullable() or self.right.nullable()
+
+    def __str__(self) -> str:
+        return f"{self.left}|{self.right}"
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene star (zero or more repetitions)."""
+
+    operand: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.operand,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        if isinstance(self.operand, (Symbol, Dot, Epsilon, Empty)):
+            return f"{self.operand}*"
+        return f"({self.operand})*"
+
+
+@dataclass(frozen=True)
+class Negate(Regex):
+    """Language complement with respect to all sequences of locations."""
+
+    operand: Regex
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.operand,)
+
+    def nullable(self) -> bool:
+        return not self.operand.nullable()
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+#: Shared leaf singletons.
+EMPTY = Empty()
+EPSILON = Epsilon()
+DOT = Dot()
+
+
+def concat(*parts: Regex) -> Regex:
+    """Concatenate path expressions, simplifying identities.
+
+    ``Epsilon`` is the concatenation identity and ``Empty`` annihilates.
+    ``concat()`` with no arguments is ``Epsilon``.
+    """
+    result: Regex = EPSILON
+    for part in parts:
+        if isinstance(part, Empty) or isinstance(result, Empty):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        result = part if isinstance(result, Epsilon) else Concat(result, part)
+    return result
+
+
+def union(*parts: Regex) -> Regex:
+    """Alternate path expressions, simplifying identities (``Empty`` is the unit)."""
+    result: Regex = EMPTY
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        result = part if isinstance(result, Empty) else Union(result, part)
+    return result
+
+
+def star(operand: Regex) -> Regex:
+    """Kleene star with simplification of nested stars and trivial operands."""
+    if isinstance(operand, (Star, Epsilon)):
+        return operand if isinstance(operand, Star) else EPSILON
+    if isinstance(operand, Empty):
+        return EPSILON
+    return Star(operand)
+
+
+def any_path() -> Regex:
+    """The expression ``.*`` matching any forwarding path."""
+    return star(DOT)
+
+
+def literal_path(*locations: str) -> Regex:
+    """A path expression matching exactly the given sequence of locations."""
+    return concat(*[Symbol(location) for location in locations])

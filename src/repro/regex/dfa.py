@@ -1,0 +1,227 @@
+"""Deterministic finite automata with default ("all other symbols") edges.
+
+The subset construction below never enumerates the full location alphabet.
+Each DFA state keeps
+
+* an *explicit* transition map for the finitely many symbols on which its
+  behaviour is special, and
+* a single *default* successor used for every other symbol.
+
+Because every state has a default successor, the DFA is complete over any
+alphabet, so complement is just flipping accepting states — exactly what
+language inclusion (used by negotiator verification) and ``!a`` expressions
+need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .nfa import NFA
+
+
+@dataclass
+class DFA:
+    """A complete DFA with explicit-plus-default transitions."""
+
+    start: int
+    accepting: Set[int]
+    #: _explicit[state][symbol] -> destination
+    _explicit: Dict[int, Dict[str, int]]
+    #: _default[state] -> destination for every symbol not in _explicit[state]
+    _default: Dict[int, int]
+
+    # -- basic queries -----------------------------------------------------
+
+    def states(self) -> List[int]:
+        """All state identifiers."""
+        return sorted(set(self._explicit) | set(self._default) | {self.start} | self.accepting)
+
+    def num_states(self) -> int:
+        return len(self.states())
+
+    def is_accepting(self, state: int) -> bool:
+        return state in self.accepting
+
+    def explicit_transitions(self, state: int) -> Dict[str, int]:
+        """The symbol-specific transitions of ``state``."""
+        return dict(self._explicit.get(state, {}))
+
+    def default_transition(self, state: int) -> int:
+        """The successor of ``state`` on any symbol without an explicit entry."""
+        return self._default[state]
+
+    def step(self, state: int, symbol: str) -> int:
+        """Deterministic successor of ``state`` on ``symbol``."""
+        return self._explicit.get(state, {}).get(symbol, self._default[state])
+
+    def accepts_sequence(self, sequence: Sequence[str]) -> bool:
+        """Whether the DFA accepts the given sequence of locations."""
+        state = self.start
+        for symbol in sequence:
+            state = self.step(state, symbol)
+        return state in self.accepting
+
+    def relevant_symbols(self) -> FrozenSet[str]:
+        """All symbols with an explicit transition anywhere in the DFA."""
+        symbols: Set[str] = set()
+        for table in self._explicit.values():
+            symbols |= set(table)
+        return frozenset(symbols)
+
+    # -- construction from an NFA -------------------------------------------
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA) -> "DFA":
+        """Subset construction, tracking only the NFA's relevant symbols."""
+        start_set = nfa.epsilon_closure({nfa.start})
+        index: Dict[FrozenSet[int], int] = {start_set: 0}
+        explicit: Dict[int, Dict[str, int]] = {}
+        default: Dict[int, int] = {}
+        accepting: Set[int] = set()
+        queue = deque([start_set])
+        while queue:
+            current = queue.popleft()
+            current_id = index[current]
+            if current & nfa.accepts:
+                accepting.add(current_id)
+            relevant: Set[str] = set()
+            has_other = False
+            for state in current:
+                for label, _ in nfa.transitions.get(state, ()):
+                    relevant |= label.relevant
+                    has_other = has_other or label.matches_other()
+            # Default successor: transitions whose label matches a symbol
+            # outside every relevant set (i.e., CoLabels).
+            other_targets: Set[int] = set()
+            if has_other:
+                for state in current:
+                    for label, destination in nfa.transitions.get(state, ()):
+                        if label.matches_other():
+                            other_targets.add(destination)
+            default_set = nfa.epsilon_closure(other_targets) if other_targets else frozenset()
+            default_id = _intern(default_set, index, queue)
+            default[current_id] = default_id
+            table: Dict[str, int] = {}
+            for symbol in relevant:
+                successor = nfa.step(current, symbol)
+                successor_id = _intern(successor, index, queue)
+                if successor_id != default_id:
+                    table[symbol] = successor_id
+            explicit[current_id] = table
+        # The empty subset (dead state) may have been interned; ensure it has
+        # transition entries (it loops to itself on everything).
+        for state_id in list(index.values()):
+            explicit.setdefault(state_id, {})
+            default.setdefault(state_id, state_id)
+        return cls(start=0, accepting=accepting, _explicit=explicit, _default=default)
+
+    # -- language operations -------------------------------------------------
+
+    def complement(self) -> "DFA":
+        """The DFA accepting exactly the sequences this one rejects."""
+        all_states = set(self.states())
+        return DFA(
+            start=self.start,
+            accepting=all_states - self.accepting,
+            _explicit={state: dict(table) for state, table in self._explicit.items()},
+            _default=dict(self._default),
+        )
+
+    def product(self, other: "DFA", accept_rule) -> "DFA":
+        """Product construction; ``accept_rule(a, b)`` decides acceptance."""
+        index: Dict[Tuple[int, int], int] = {}
+        explicit: Dict[int, Dict[str, int]] = {}
+        default: Dict[int, int] = {}
+        accepting: Set[int] = set()
+        queue: deque = deque()
+
+        def intern(pair: Tuple[int, int]) -> int:
+            if pair not in index:
+                index[pair] = len(index)
+                queue.append(pair)
+            return index[pair]
+
+        start_pair = (self.start, other.start)
+        intern(start_pair)
+        while queue:
+            pair = queue.popleft()
+            pair_id = index[pair]
+            left, right = pair
+            if accept_rule(left in self.accepting, right in other.accepting):
+                accepting.add(pair_id)
+            symbols = set(self._explicit.get(left, {})) | set(other._explicit.get(right, {}))
+            default_pair = (self._default[left], other._default[right])
+            default_id = intern(default_pair)
+            default[pair_id] = default_id
+            table: Dict[str, int] = {}
+            for symbol in symbols:
+                successor = (self.step(left, symbol), other.step(right, symbol))
+                successor_id = intern(successor)
+                if successor_id != default_id:
+                    table[symbol] = successor_id
+            explicit[pair_id] = table
+        return DFA(start=0, accepting=accepting, _explicit=explicit, _default=default)
+
+    def intersect(self, other: "DFA") -> "DFA":
+        """Language intersection."""
+        return self.product(other, lambda a, b: a and b)
+
+    def union(self, other: "DFA") -> "DFA":
+        """Language union."""
+        return self.product(other, lambda a, b: a or b)
+
+    def difference(self, other: "DFA") -> "DFA":
+        """Language difference (sequences accepted by self but not other)."""
+        return self.product(other, lambda a, b: a and not b)
+
+    def is_empty(self) -> bool:
+        """Whether no sequence is accepted."""
+        return self.shortest_accepted() is None
+
+    def shortest_accepted(self) -> Optional[Tuple[str, ...]]:
+        """A shortest accepted sequence, or ``None`` if the language is empty.
+
+        Default transitions are witnessed with a fresh placeholder symbol
+        (``"<any>"``), representing "any location not explicitly mentioned".
+        """
+        if self.start in self.accepting:
+            return ()
+        visited = {self.start}
+        queue: deque = deque([(self.start, ())])
+        while queue:
+            state, path = queue.popleft()
+            moves: List[Tuple[str, int]] = list(self._explicit.get(state, {}).items())
+            moves.append(("<any>", self._default[state]))
+            for symbol, successor in moves:
+                if successor in visited:
+                    continue
+                next_path = path + (symbol,)
+                if successor in self.accepting:
+                    return next_path
+                visited.add(successor)
+                queue.append((successor, next_path))
+        return None
+
+    def reachable_states(self) -> Set[int]:
+        """States reachable from the start state."""
+        visited = {self.start}
+        queue = deque([self.start])
+        while queue:
+            state = queue.popleft()
+            successors = set(self._explicit.get(state, {}).values())
+            successors.add(self._default[state])
+            for successor in successors:
+                if successor not in visited:
+                    visited.add(successor)
+                    queue.append(successor)
+        return visited
+
+
+def _intern(subset: FrozenSet[int], index: Dict[FrozenSet[int], int], queue: deque) -> int:
+    if subset not in index:
+        index[subset] = len(index)
+        queue.append(subset)
+    return index[subset]

@@ -1,0 +1,68 @@
+"""Language-level operations on path expressions.
+
+These are the decision procedures the paper obtains from the Dprle library:
+emptiness, inclusion, and equivalence of regular path languages.  Negotiator
+verification (§4.2) uses inclusion to check that a tenant's refined path
+expression only allows paths the parent policy already allowed.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
+
+from .ast import Regex
+from .dfa import DFA
+from .minimize import minimize
+from .nfa import NFA
+
+
+def compile_dfa(expression: Regex, *, minimal: bool = False) -> DFA:
+    """Compile a path expression to a (optionally minimal) DFA."""
+    dfa = DFA.from_nfa(NFA.from_regex(expression))
+    return minimize(dfa) if minimal else dfa
+
+
+def accepts(expression: Regex, sequence: Sequence[str]) -> bool:
+    """Whether ``sequence`` (of locations) is in the language of ``expression``."""
+    return NFA.from_regex(expression).accepts_sequence(sequence)
+
+
+def is_empty(expression: Regex) -> bool:
+    """Whether the language of ``expression`` is empty."""
+    return compile_dfa(expression).is_empty()
+
+
+def shortest_accepted(expression: Regex) -> Optional[Tuple[str, ...]]:
+    """A shortest sequence in the language, or ``None`` if the language is empty."""
+    return compile_dfa(expression).shortest_accepted()
+
+
+def included(refined: Regex, original: Regex) -> bool:
+    """Language inclusion: every path allowed by ``refined`` is allowed by ``original``.
+
+    Implemented as emptiness of ``L(refined) ∩ complement(L(original))``.
+    """
+    refined_dfa = compile_dfa(refined)
+    original_dfa = compile_dfa(original)
+    return refined_dfa.difference(original_dfa).is_empty()
+
+
+def equivalent(left: Regex, right: Regex) -> bool:
+    """Language equivalence of two path expressions."""
+    return included(left, right) and included(right, left)
+
+
+def intersection_empty(left: Regex, right: Regex) -> bool:
+    """Whether the two path languages share no sequence."""
+    return compile_dfa(left).intersect(compile_dfa(right)).is_empty()
+
+
+def counterexample(refined: Regex, original: Regex) -> Optional[Tuple[str, ...]]:
+    """A path allowed by ``refined`` but not by ``original`` (``None`` if included).
+
+    Used to produce actionable error messages when negotiator verification
+    rejects a tenant's modification.
+    """
+    difference = compile_dfa(refined).difference(compile_dfa(original))
+    return difference.shortest_accepted()

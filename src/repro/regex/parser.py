@@ -1,0 +1,155 @@
+"""Parser for Merlin path expressions.
+
+Surface syntax examples from the paper::
+
+    .* dpi .*
+    .* dpi .* nat .*
+    h1 .* dpi .* nat .* h2
+    .* (h1|h2|m1) .*
+    .* log .*
+
+Grammar (precedence low to high)::
+
+    expr    ::= term ( '|' term )*
+    term    ::= factor+                 (concatenation by juxtaposition)
+    factor  ::= '!' factor | base ( '*' )*
+    base    ::= '(' expr ')' | '.' | SYMBOL
+
+Symbols are location or function identifiers (letters, digits, underscores,
+dashes, and dots inside names are not allowed — ``.`` is always the wildcard).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ParseError
+from .ast import DOT, Regex, Symbol, concat, star, union, Negate
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<symbol>[A-Za-z_][A-Za-z0-9_\-]*)
+  | (?P<op>[().|*!])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize_path_expression(source: str) -> List[_Token]:
+    """Tokenise a path expression, raising on unrecognised characters."""
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r} in path expression",
+                column=position,
+            )
+        if match.lastgroup != "ws":
+            tokens.append(_Token(match.lastgroup or "", match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _PathExpressionParser:
+    def __init__(self, tokens: List[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of path expression", column=len(self._source))
+        self._index += 1
+        return token
+
+    def parse(self) -> Regex:
+        expression = self._expr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise ParseError(
+                f"unexpected trailing input {trailing.text!r} in path expression",
+                column=trailing.position,
+            )
+        return expression
+
+    def _expr(self) -> Regex:
+        parts = [self._term()]
+        while self._peek_op("|"):
+            self._advance()
+            parts.append(self._term())
+        return union(*parts) if len(parts) > 1 else parts[0]
+
+    def _term(self) -> Regex:
+        factors = [self._factor()]
+        while self._starts_factor():
+            factors.append(self._factor())
+        return concat(*factors) if len(factors) > 1 else factors[0]
+
+    def _starts_factor(self) -> bool:
+        token = self._peek()
+        if token is None:
+            return False
+        if token.kind == "symbol":
+            return True
+        return token.kind == "op" and token.text in {"(", ".", "!"}
+
+    def _factor(self) -> Regex:
+        if self._peek_op("!"):
+            self._advance()
+            return Negate(self._factor())
+        base = self._base()
+        while self._peek_op("*"):
+            self._advance()
+            base = star(base)
+        return base
+
+    def _base(self) -> Regex:
+        token = self._advance()
+        if token.kind == "symbol":
+            return Symbol(token.text)
+        if token.kind == "op" and token.text == ".":
+            return DOT
+        if token.kind == "op" and token.text == "(":
+            inner = self._expr()
+            closing = self._advance()
+            if closing.kind != "op" or closing.text != ")":
+                raise ParseError("expected ')' in path expression", column=closing.position)
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text!r} in path expression", column=token.position
+        )
+
+    def _peek_op(self, text: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == "op" and token.text == text
+
+
+def parse_path_expression(source: str) -> Regex:
+    """Parse path-expression concrete syntax into a :class:`Regex` AST.
+
+    The paper's running example contains the typo ``dpi *. nat`` (a transposed
+    ``.*``); the parser accepts the conventional ``.*`` form only, so the typo
+    is normalised by the caller if needed.
+    """
+    tokens = tokenize_path_expression(source)
+    if not tokens:
+        raise ParseError("empty path expression")
+    return _PathExpressionParser(tokens, source).parse()

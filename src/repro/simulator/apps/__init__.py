@@ -1,0 +1,13 @@
+"""Application models driven through the flow simulator.
+
+The paper's end-to-end experiments (§6.2) use two real applications: a
+Hadoop sort job (sensitive to shuffle bandwidth) and a key-value store
+replicated with Ring Paxos (sensitive to the bandwidth available to its
+ring).  These modules model the network behaviour of both applications so
+the experiments can be reproduced on the fluid simulator.
+"""
+
+from .hadoop import HadoopJob, HadoopResult
+from .ringpaxos import RingPaxosExperiment, RingPaxosService
+
+__all__ = ["HadoopJob", "HadoopResult", "RingPaxosExperiment", "RingPaxosService"]

@@ -1,0 +1,85 @@
+"""Topology serialisation: JSON for persistence, DOT for visualisation."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from ..errors import TopologyError
+from ..units import Bandwidth
+from .elements import Node, NodeKind
+from .graph import Topology
+
+
+def to_json(topology: Topology, indent: int = 2) -> str:
+    """Serialise a topology to a JSON document."""
+    payload: Dict[str, Any] = {
+        "name": topology.name,
+        "nodes": [
+            {
+                "name": node.name,
+                "kind": node.kind.value,
+                "mac": node.mac,
+                "ip": node.ip,
+                "attached_switch": node.attached_switch,
+            }
+            for node in topology.nodes()
+        ],
+        "links": [
+            {
+                "source": link.source,
+                "target": link.target,
+                "capacity_bps": link.capacity.bps_value,
+                "latency_ms": link.latency_ms,
+            }
+            for link in topology.links()
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def from_json(document: Union[str, Dict[str, Any]]) -> Topology:
+    """Deserialise a topology from a JSON document (string or parsed dict)."""
+    payload = json.loads(document) if isinstance(document, str) else document
+    try:
+        topology = Topology(name=payload.get("name", "topology"))
+        for node in payload["nodes"]:
+            topology.add_node(
+                Node(
+                    name=node["name"],
+                    kind=NodeKind(node["kind"]),
+                    mac=node.get("mac"),
+                    ip=node.get("ip"),
+                    attached_switch=node.get("attached_switch"),
+                )
+            )
+        for link in payload["links"]:
+            topology.add_link(
+                link["source"],
+                link["target"],
+                capacity=Bandwidth(float(link["capacity_bps"])),
+                latency_ms=float(link.get("latency_ms", 0.1)),
+            )
+    except (KeyError, ValueError, TypeError) as error:
+        raise TopologyError(f"malformed topology document: {error}") from error
+    return topology
+
+
+_DOT_SHAPES = {
+    NodeKind.HOST: "ellipse",
+    NodeKind.SWITCH: "box",
+    NodeKind.MIDDLEBOX: "diamond",
+}
+
+
+def to_dot(topology: Topology) -> str:
+    """Render a topology in Graphviz DOT format."""
+    lines = [f'graph "{topology.name}" {{']
+    for node in topology.nodes():
+        shape = _DOT_SHAPES[node.kind]
+        lines.append(f'  "{node.name}" [shape={shape}];')
+    for link in topology.links():
+        label = link.capacity.human()
+        lines.append(f'  "{link.source}" -- "{link.target}" [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Shared fixtures for the Merlin reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import parse_policy
+from repro.topology.generators import (
+    dumbbell,
+    fat_tree,
+    figure2_example,
+    linear,
+    single_switch,
+    stanford_campus,
+)
+from repro.units import Bandwidth
+
+#: The running example of §2 (FTP data/control capped, HTTP guaranteed).
+RUNNING_EXAMPLE_SOURCE = """
+[ x : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 20) -> .* dpi .* ;
+  y : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 21) -> .* ;
+  z : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 80) -> .* dpi .* nat .* ],
+max(x + y, 50MB/s) and min(z, 100MB/s)
+"""
+
+#: The delegation example of §4.1 — the original policy...
+DELEGATION_ORIGINAL_SOURCE = """
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* ],
+max(x, 100MB/s)
+"""
+
+#: ... and its tenant refinement.
+DELEGATION_REFINED_SOURCE = """
+[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80) -> .* log .* ;
+  y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 22) -> .* ;
+  z : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and
+       !(tcp.dst = 22 or tcp.dst = 80)) -> .* dpi .* ],
+max(x, 50MB/s) and max(y, 25MB/s) and max(z, 25MB/s)
+"""
+
+
+@pytest.fixture
+def figure2_topology():
+    """The Figure 2 network with 2 Gbps links (so the running example fits)."""
+    return figure2_example(capacity=Bandwidth.gbps(2))
+
+
+@pytest.fixture
+def figure2_placements():
+    """DPI can run at h1, h2, or m1; NAT only at m1 (as in Figure 2)."""
+    return {"dpi": ["h1", "h2", "m1"], "nat": ["m1"], "log": ["m1"]}
+
+
+@pytest.fixture
+def running_example_policy(figure2_topology):
+    return parse_policy(RUNNING_EXAMPLE_SOURCE, topology=figure2_topology)
+
+
+@pytest.fixture
+def dumbbell_topology():
+    """The Figure 3 network (two disjoint paths of different capacity)."""
+    return dumbbell()
+
+
+@pytest.fixture
+def small_fat_tree():
+    return fat_tree(4)
+
+
+@pytest.fixture
+def stanford_topology():
+    return stanford_campus()
+
+
+@pytest.fixture
+def tiny_topology():
+    """One switch, four hosts — the smallest useful network."""
+    return single_switch(4)
+
+
+@pytest.fixture
+def linear_topology():
+    """Three switches in a row, one host each."""
+    return linear(3, hosts_per_switch=1)

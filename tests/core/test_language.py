@@ -1,0 +1,260 @@
+"""Tests for the Merlin policy language: lexer, parser, sugar, and policy AST."""
+
+import pytest
+
+from repro.errors import LexerError, ParseError, PolicyError
+from repro.core.ast import (
+    BandwidthTerm,
+    FAnd,
+    FMax,
+    FMin,
+    FTrue,
+    Policy,
+    Statement,
+    formula_and,
+    formula_clauses,
+)
+from repro.core.lexer import tokenize
+from repro.core.parser import parse_policy, parse_program
+from repro.predicates import FieldTest, parse_predicate
+from repro.regex import parse_path_expression
+from repro.regex.operations import equivalent as regex_equivalent
+from repro.units import Bandwidth
+from tests.conftest import RUNNING_EXAMPLE_SOURCE
+
+
+class TestLexer:
+    def test_rate_tokens(self):
+        kinds = [t.kind for t in tokenize("max(x, 50MB/s) min(y, 100Mbps)")]
+        assert kinds.count("RATE") == 2
+
+    def test_mac_and_ip_tokens(self):
+        tokens = tokenize("eth.src = 00:00:00:00:00:01 and ip.dst = 10.0.0.1")
+        assert [t.kind for t in tokens if t.kind in ("MAC", "IP")] == ["MAC", "IP"]
+
+    def test_field_token_not_split(self):
+        tokens = tokenize("tcp.dst = 80")
+        assert tokens[0].kind == "FIELD"
+        assert tokens[0].text == "tcp.dst"
+
+    def test_keywords_distinguished_from_identifiers(self):
+        tokens = tokenize("foreach x in cross")
+        assert [t.kind for t in tokens] == ["KEYWORD", "IDENT", "KEYWORD", "KEYWORD"]
+
+    def test_arrow_and_assign(self):
+        tokens = tokenize("x := y -> z")
+        assert [t.kind for t in tokens] == ["IDENT", "ASSIGN", "IDENT", "ARROW", "IDENT"]
+
+    def test_comments_and_whitespace_skipped(self):
+        tokens = tokenize("x : true -> .*  # a comment\n// another\n")
+        assert all(t.kind not in ("WS", "COMMENT") for t in tokens)
+
+    def test_line_numbers_tracked(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.line for t in tokens] == [1, 2, 3]
+
+    def test_invalid_character(self):
+        with pytest.raises(LexerError):
+            tokenize("x : true -> .* @")
+
+
+class TestPolicyAst:
+    def test_duplicate_identifiers_rejected(self):
+        statement = Statement("x", parse_predicate("tcp.dst = 80"), parse_path_expression(".*"))
+        with pytest.raises(PolicyError):
+            Policy(statements=(statement, statement))
+
+    def test_formula_with_unknown_identifier_rejected(self):
+        statement = Statement("x", parse_predicate("tcp.dst = 80"), parse_path_expression(".*"))
+        formula = FMax(BandwidthTerm(identifiers=("y",)), Bandwidth.mbps(10))
+        with pytest.raises(PolicyError):
+            Policy(statements=(statement,), formula=formula)
+
+    def test_statement_lookup(self):
+        statement = Statement("x", parse_predicate("tcp.dst = 80"), parse_path_expression(".*"))
+        policy = Policy(statements=(statement,))
+        assert policy.statement("x") is statement
+        with pytest.raises(PolicyError):
+            policy.statement("missing")
+
+    def test_formula_helpers(self):
+        term = BandwidthTerm(identifiers=("x",))
+        clause_a = FMax(term, Bandwidth.mbps(10))
+        clause_b = FMin(term, Bandwidth.mbps(5))
+        combined = formula_and(clause_a, FTrue(), clause_b)
+        assert formula_clauses(combined) == [clause_a, clause_b]
+        assert combined.identifiers() == {"x"}
+
+    def test_empty_bandwidth_term_rejected(self):
+        with pytest.raises(PolicyError):
+            BandwidthTerm(identifiers=())
+
+    def test_to_source_round_trips(self):
+        policy = parse_policy(RUNNING_EXAMPLE_SOURCE)
+        reparsed = parse_policy(policy.to_source())
+        assert reparsed.statement_ids() == policy.statement_ids()
+        assert len(formula_clauses(reparsed.formula)) == len(formula_clauses(policy.formula))
+
+    def test_source_line_count(self):
+        policy = parse_policy(RUNNING_EXAMPLE_SOURCE)
+        assert policy.source_line_count() >= 5
+
+
+class TestParser:
+    def test_running_example(self):
+        policy = parse_policy(RUNNING_EXAMPLE_SOURCE)
+        assert policy.statement_ids() == ["x", "y", "z"]
+        z = policy.statement("z")
+        assert regex_equivalent(z.path, parse_path_expression(".* dpi .* nat .*"))
+        clauses = formula_clauses(policy.formula)
+        assert isinstance(clauses[0], FMax)
+        assert clauses[0].term.identifiers == ("x", "y")
+        assert clauses[0].rate == Bandwidth.mb_per_sec(50)
+        assert isinstance(clauses[1], FMin)
+        assert clauses[1].rate == Bandwidth.mb_per_sec(100)
+
+    def test_statements_without_semicolons(self):
+        source = """
+        [ a : tcp.dst = 80 -> .*
+          b : tcp.dst = 22 -> .* ],
+        max(a, 10Mbps)
+        """
+        policy = parse_policy(source)
+        assert policy.statement_ids() == ["a", "b"]
+
+    def test_policy_without_formula(self):
+        policy = parse_policy("[ a : true -> .* ]")
+        assert isinstance(policy.formula, FTrue)
+
+    def test_unbracketed_single_statement(self):
+        policy = parse_policy("a : tcp.dst = 80 -> .* dpi .*")
+        assert policy.statement_ids() == ["a"]
+
+    def test_formula_or_and_not(self):
+        policy = parse_policy(
+            "[ a : tcp.dst = 80 -> .* ; b : tcp.dst = 22 -> .* ],"
+            "max(a, 10Mbps) or ! min(b, 5Mbps)"
+        )
+        assert policy.formula.identifiers() == {"a", "b"}
+
+    def test_bandwidth_term_with_constant(self):
+        policy = parse_policy(
+            "[ a : tcp.dst = 80 -> .* ], max(a + 5Mbps, 10Mbps)"
+        )
+        clause = formula_clauses(policy.formula)[0]
+        assert clause.term.constant == Bandwidth.mbps(5)
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_policy("[ a : tcp.dst = 80 .* ]")
+
+    def test_unclosed_bracket_rejected(self):
+        with pytest.raises(ParseError):
+            parse_policy("[ a : tcp.dst = 80 -> .* ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_policy("[ a : true -> .* ] extra")
+
+    def test_bad_formula_rejected(self):
+        with pytest.raises(ParseError):
+            parse_policy("[ a : true -> .* ], max(a)")
+
+
+class TestSugar:
+    def test_cross_product_expansion(self):
+        source = """
+        srcs := {00:00:00:00:00:01, 00:00:00:00:00:03}
+        dsts := {00:00:00:00:00:02}
+        foreach (s,d) in cross(srcs,dsts):
+          tcp.dst = 80 -> ( .* nat .* dpi .* ) at max(100MB/s)
+        """
+        policy = parse_policy(source)
+        assert len(policy.statements) == 2
+        clauses = formula_clauses(policy.formula)
+        assert len(clauses) == 2
+        assert all(isinstance(clause, FMax) for clause in clauses)
+        assert all(clause.rate == Bandwidth.mb_per_sec(100) for clause in clauses)
+
+    def test_paper_sugar_equivalent_to_statement_z(self):
+        source = """
+        srcs := {00:00:00:00:00:01}
+        dsts := {00:00:00:00:00:02}
+        foreach (s,d) in cross(srcs,dsts):
+          tcp.dst = 80 -> ( .* nat .* dpi .* ) at max(100MB/s)
+        """
+        policy = parse_policy(source)
+        assert len(policy.statements) == 1
+        predicate = policy.statements[0].predicate
+        assert FieldTest("eth.src", "00:00:00:00:00:01") in _atoms_of(predicate)
+        assert FieldTest("eth.dst", "00:00:00:00:00:02") in _atoms_of(predicate)
+        assert FieldTest("tcp.dst", 80) in _atoms_of(predicate)
+
+    def test_ip_sets_use_ip_fields(self):
+        source = """
+        srcs := {10.0.0.1}
+        dsts := {10.0.0.2}
+        foreach (s,d) in cross(srcs,dsts): true -> .*
+        """
+        policy = parse_policy(source)
+        atoms = _atoms_of(policy.statements[0].predicate)
+        assert FieldTest("ip.src", "10.0.0.1") in atoms
+        assert FieldTest("ip.dst", "10.0.0.2") in atoms
+
+    def test_single_set_iterates_over_ordered_pairs(self):
+        source = """
+        hostsset := {10.0.0.1, 10.0.0.2, 10.0.0.3}
+        foreach (s,d) in hostsset: true -> .*
+        """
+        policy = parse_policy(source)
+        assert len(policy.statements) == 3 * 2
+
+    def test_host_names_resolved_against_topology(self, tiny_topology):
+        source = """
+        srcs := {h1}
+        dsts := {h2}
+        foreach (s,d) in cross(srcs,dsts): tcp.dst = 80 -> .*
+        """
+        policy = parse_policy(source, topology=tiny_topology)
+        atoms = _atoms_of(policy.statements[0].predicate)
+        assert FieldTest("eth.src", tiny_topology.node("h1").mac) in atoms
+
+    def test_host_names_without_topology_rejected(self):
+        source = """
+        srcs := {h1}
+        dsts := {h2}
+        foreach (s,d) in cross(srcs,dsts): true -> .*
+        """
+        with pytest.raises(PolicyError):
+            parse_policy(source)
+
+    def test_undefined_set_rejected(self):
+        with pytest.raises(PolicyError):
+            parse_policy("foreach (s,d) in cross(a, b): true -> .*")
+
+    def test_generated_identifiers_are_unique(self):
+        source = """
+        srcs := {10.0.0.1, 10.0.0.2}
+        dsts := {10.0.0.3, 10.0.0.4}
+        foreach (s,d) in cross(srcs,dsts): true -> .*
+        """
+        policy = parse_policy(source)
+        identifiers = policy.statement_ids()
+        assert len(identifiers) == len(set(identifiers)) == 4
+
+    def test_min_and_max_annotations(self):
+        source = """
+        srcs := {10.0.0.1}
+        dsts := {10.0.0.2}
+        foreach (s,d) in cross(srcs,dsts): true -> .* at max(10Mbps) and min(1Mbps)
+        """
+        policy = parse_policy(source)
+        clauses = formula_clauses(policy.formula)
+        kinds = {type(clause) for clause in clauses}
+        assert kinds == {FMax, FMin}
+
+
+def _atoms_of(predicate):
+    from repro.predicates.transform import atoms
+
+    return {FieldTest(field, value) for field, value in atoms(predicate)}

@@ -1,0 +1,257 @@
+"""Tests for the LP/MIP modelling layer and both solver backends."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.lp import (
+    BranchAndBoundSolver,
+    Constraint,
+    LinExpr,
+    Model,
+    Objective,
+    ScipySolver,
+    Sense,
+    SolveStatus,
+    Variable,
+    solve,
+)
+
+
+class TestExpressions:
+    def test_variable_arithmetic(self):
+        x = Variable("x")
+        y = Variable("y")
+        expression = 2 * x + 3 * y + 1 - x
+        assert expression.coefficients[x] == 1.0
+        assert expression.coefficients[y] == 3.0
+        assert expression.constant == 1.0
+
+    def test_negation_and_subtraction(self):
+        x = Variable("x")
+        expression = 5 - x
+        assert expression.constant == 5.0
+        assert expression.coefficients[x] == -1.0
+
+    def test_sum_of(self):
+        xs = [Variable(f"x{i}") for i in range(4)]
+        expression = LinExpr.sum_of(xs)
+        assert all(expression.coefficients[x] == 1.0 for x in xs)
+
+    def test_value_evaluation(self):
+        x, y = Variable("x"), Variable("y")
+        expression = 2 * x + y + 3
+        assert expression.value({x: 1.0, y: 2.0}) == 7.0
+
+    def test_scaling_by_non_number_rejected(self):
+        with pytest.raises(TypeError):
+            Variable("x").to_expr() * Variable("y")
+
+    def test_constraint_construction(self):
+        x = Variable("x")
+        constraint = x + 2 <= 5
+        assert isinstance(constraint, Constraint)
+        assert constraint.sense is Sense.LESS_EQUAL
+        assert constraint.satisfied({x: 3.0})
+        assert not constraint.satisfied({x: 4.0})
+
+    def test_constraint_violation_measure(self):
+        x = Variable("x")
+        constraint = x >= 4
+        assert constraint.violation({x: 1.0}) == pytest.approx(3.0)
+        assert constraint.violation({x: 5.0}) == 0.0
+
+    def test_equality_constraint(self):
+        x = Variable("x")
+        constraint = (x + 1).equals(3)
+        assert constraint.sense is Sense.EQUAL
+        assert constraint.satisfied({x: 2.0})
+
+
+class TestModel:
+    def test_duplicate_variable_rejected(self):
+        model = Model()
+        model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_variable("x")
+
+    def test_unknown_variable_lookup_rejected(self):
+        with pytest.raises(SolverError):
+            Model().variable("missing")
+
+    def test_standard_form_shapes(self):
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_continuous("y", 0, 10)
+        model.add_constraint(x + y <= 5)
+        model.add_constraint((x + y).equals(2))
+        model.maximize(x + 2 * y)
+        form = model.to_standard_form()
+        assert form.a_ub.shape == (1, 2)
+        assert form.a_eq.shape == (1, 2)
+        assert list(form.integrality) == [1, 0]
+        assert form.maximize
+
+    def test_constraint_with_foreign_variable_rejected(self):
+        model = Model()
+        model.add_variable("x")
+        stranger = Variable("y")
+        model.add_constraint(stranger <= 1)
+        with pytest.raises(SolverError):
+            model.to_standard_form()
+
+    def test_counts(self):
+        model = Model()
+        model.add_binary("x")
+        model.add_continuous("y")
+        model.add_constraint(model.variable("x") <= 1)
+        assert model.num_variables() == 2
+        assert model.num_integer_variables() == 1
+        assert model.num_constraints() == 1
+
+
+class TestScipySolver:
+    def test_pure_lp(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        y = model.add_continuous("y", 0, 10)
+        model.add_constraint(x + y <= 8)
+        model.maximize(3 * x + y)
+        result = model.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(24.0)
+        assert result.value_of(x) == pytest.approx(8.0)
+        assert result.value_of(y) == pytest.approx(0.0)
+
+    def test_knapsack_mip(self):
+        values = [10, 13, 7, 8]
+        weights = [3, 4, 2, 3]
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(4)]
+        model.add_constraint(LinExpr.sum_of(w * x for w, x in zip(weights, xs)) <= 6)
+        model.maximize(LinExpr.sum_of(v * x for v, x in zip(values, xs)))
+        result = model.solve()
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(20.0)  # items 1 and 2 (13 + 7)
+
+    def test_infeasible(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 1)
+        model.add_constraint(x >= 2)
+        model.minimize(x)
+        assert model.solve().status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        model = Model()
+        x = model.add_continuous("x", 0, math.inf)
+        model.maximize(x)
+        assert model.solve().status in (SolveStatus.UNBOUNDED, SolveStatus.ERROR)
+
+    def test_minimization(self):
+        model = Model()
+        x = model.add_continuous("x", 2, 10)
+        model.minimize(x)
+        assert model.solve().objective == pytest.approx(2.0)
+
+    def test_statistics_recorded(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.maximize(x)
+        result = solve(model)
+        assert "solve_seconds" in result.statistics
+        assert result.statistics["num_variables"] == 1
+
+    def test_shortest_path_as_mip(self):
+        # A 4-node diamond: the MIP should pick the cheaper branch.
+        edges = {("s", "a"): 1, ("a", "t"): 1, ("s", "b"): 2, ("b", "t"): 2}
+        model = Model()
+        xs = {edge: model.add_binary(f"x_{edge[0]}{edge[1]}") for edge in edges}
+        for node in ("a", "b"):
+            inflow = LinExpr.sum_of(xs[e] for e in edges if e[1] == node)
+            outflow = LinExpr.sum_of(xs[e] for e in edges if e[0] == node)
+            model.add_constraint((outflow - inflow).equals(0))
+        model.add_constraint(
+            LinExpr.sum_of(xs[e] for e in edges if e[0] == "s").equals(1)
+        )
+        model.add_constraint(
+            LinExpr.sum_of(xs[e] for e in edges if e[1] == "t").equals(1)
+        )
+        model.minimize(LinExpr.sum_of(cost * xs[e] for e, cost in edges.items()))
+        result = model.solve()
+        assert result.objective == pytest.approx(2.0)
+        assert result.value_of(xs[("s", "a")]) == 1.0
+
+
+class TestBranchAndBound:
+    def test_agrees_with_scipy_on_knapsack(self):
+        model = Model()
+        values = [6, 5, 4, 3, 2]
+        weights = [4, 3, 2, 2, 1]
+        xs = [model.add_binary(f"x{i}") for i in range(5)]
+        model.add_constraint(LinExpr.sum_of(w * x for w, x in zip(weights, xs)) <= 7)
+        model.maximize(LinExpr.sum_of(v * x for v, x in zip(values, xs)))
+        scipy_result = ScipySolver().solve(model)
+        bb_result = BranchAndBoundSolver().solve(model)
+        assert bb_result.status is SolveStatus.OPTIMAL
+        assert bb_result.objective == pytest.approx(scipy_result.objective)
+
+    def test_integer_infeasible_detected(self):
+        model = Model()
+        x = model.add_variable("x", lower=0, upper=10, is_integer=True)
+        model.add_constraint(2 * x >= 3)
+        model.add_constraint(2 * x <= 3)
+        model.minimize(x)
+        assert BranchAndBoundSolver().solve(model).status is SolveStatus.INFEASIBLE
+
+    def test_pure_lp_falls_through(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 4)
+        model.maximize(x)
+        result = BranchAndBoundSolver().solve(model)
+        assert result.objective == pytest.approx(4.0)
+
+    def test_node_statistics(self):
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(3)]
+        model.add_constraint(LinExpr.sum_of(xs) <= 2)
+        model.maximize(LinExpr.sum_of((i + 1) * x for i, x in enumerate(xs)))
+        result = BranchAndBoundSolver().solve(model)
+        assert result.statistics["nodes"] >= 1
+        assert result.objective == pytest.approx(5.0)
+
+
+class TestSolverCrossCheckProperties:
+    """The two backends (and brute force) agree on random small knapsacks."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        values=st.lists(st.integers(min_value=1, max_value=12), min_size=2, max_size=5),
+        weights=st.lists(st.integers(min_value=1, max_value=8), min_size=2, max_size=5),
+        budget=st.integers(min_value=1, max_value=16),
+    )
+    def test_backends_match_brute_force(self, values, weights, budget):
+        size = min(len(values), len(weights))
+        values, weights = values[:size], weights[:size]
+
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(size)]
+        model.add_constraint(
+            LinExpr.sum_of(w * x for w, x in zip(weights, xs)) <= budget
+        )
+        model.maximize(LinExpr.sum_of(v * x for v, x in zip(values, xs)))
+
+        brute = max(
+            (
+                sum(v for v, chosen in zip(values, combo) if chosen)
+                for combo in itertools.product([0, 1], repeat=size)
+                if sum(w for w, chosen in zip(weights, combo) if chosen) <= budget
+            ),
+            default=0,
+        )
+        scipy_result = ScipySolver().solve(model)
+        bb_result = BranchAndBoundSolver().solve(model)
+        assert scipy_result.objective == pytest.approx(brute)
+        assert bb_result.objective == pytest.approx(brute)

@@ -1,0 +1,266 @@
+"""Tests for delegation, refinement verification, the negotiator tree, and the
+AIMD / max-min fair-sharing allocation schemes."""
+
+import pytest
+
+from repro.errors import DelegationError, VerificationError
+from repro.core import parse_policy
+from repro.core.ast import formula_clauses
+from repro.negotiator import (
+    AimdAllocator,
+    MaxMinFairAllocator,
+    Negotiator,
+    delegate,
+    max_min_fair_share,
+    verify_refinement,
+)
+from repro.predicates import parse_predicate
+from repro.regex import parse_path_expression
+from repro.units import Bandwidth
+from tests.conftest import DELEGATION_ORIGINAL_SOURCE, DELEGATION_REFINED_SOURCE
+
+
+class TestDelegation:
+    def test_projection_narrows_predicates(self):
+        policy = parse_policy(
+            "[ a : ip.src = 10.0.0.1 -> .* ; b : ip.src = 10.0.0.2 -> .* ],"
+            "max(a, 10Mbps) and max(b, 10Mbps)"
+        )
+        scope = parse_predicate("ip.src = 10.0.0.1")
+        projected = delegate(policy, scope)
+        assert projected.statement_ids() == ["a"]
+        clauses = formula_clauses(projected.formula)
+        assert len(clauses) == 1
+        assert clauses[0].identifiers() == {"a"}
+
+    def test_projection_keeps_path_constraints(self):
+        policy = parse_policy("[ a : ip.src = 10.0.0.1 -> .* dpi .* ]")
+        projected = delegate(policy, parse_predicate("tcp.dst = 80"))
+        assert str(projected.statements[0].path) == str(policy.statements[0].path)
+
+    def test_disjoint_scope_rejected(self):
+        policy = parse_policy("[ a : ip.src = 10.0.0.1 -> .* ]")
+        with pytest.raises(DelegationError):
+            delegate(policy, parse_predicate("ip.src = 10.0.0.2"))
+
+    def test_scope_path_filters_statements(self):
+        policy = parse_policy(
+            "[ a : ip.src = 10.0.0.1 -> s1 s2 ; b : ip.src = 10.0.0.2 -> s3 s4 ]"
+        )
+        projected = delegate(
+            policy, parse_predicate("true"), scope_path=parse_path_expression(".* s2 .*")
+        )
+        assert projected.statement_ids() == ["a"]
+
+
+class TestVerification:
+    def test_paper_refinement_accepted(self):
+        original = parse_policy(DELEGATION_ORIGINAL_SOURCE)
+        refined = parse_policy(DELEGATION_REFINED_SOURCE)
+        report = verify_refinement(original, refined)
+        assert report.valid
+        assert report.checked_pairs >= 3
+
+    def test_bandwidth_increase_rejected(self):
+        original = parse_policy(DELEGATION_ORIGINAL_SOURCE)
+        greedy = parse_policy(
+            "[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* ],"
+            "max(x, 200MB/s)"
+        )
+        report = verify_refinement(original, greedy)
+        assert not report.valid
+        assert any(v.kind == "bandwidth" for v in report.violations)
+
+    def test_sum_exactly_at_budget_accepted(self):
+        original = parse_policy(DELEGATION_ORIGINAL_SOURCE)
+        split = parse_policy(
+            "[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst = 80) -> .* ;"
+            "  y : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2 and tcp.dst != 80) -> .* ],"
+            "max(x, 60MB/s) and max(y, 40MB/s)"
+        )
+        assert verify_refinement(original, split).valid
+
+    def test_path_relaxation_rejected(self):
+        original = parse_policy("[ x : ip.src = 10.0.0.1 -> .* log .* ]")
+        relaxed = parse_policy("[ x : ip.src = 10.0.0.1 -> .* ]")
+        report = verify_refinement(original, relaxed)
+        assert not report.valid
+        assert any(v.kind == "path" for v in report.violations)
+
+    def test_path_tightening_accepted(self):
+        original = parse_policy("[ x : ip.src = 10.0.0.1 -> .* log .* ]")
+        tightened = parse_policy("[ x : ip.src = 10.0.0.1 -> .* log .* dpi .* ]")
+        assert verify_refinement(original, tightened).valid
+
+    def test_incomplete_coverage_rejected(self):
+        original = parse_policy("[ x : ip.src = 10.0.0.1 -> .* ]")
+        partial = parse_policy("[ x : ip.src = 10.0.0.1 and tcp.dst = 80 -> .* ]")
+        report = verify_refinement(original, partial)
+        assert not report.valid
+        assert any(v.kind == "coverage" for v in report.violations)
+
+    def test_out_of_scope_statement_rejected(self):
+        original = parse_policy("[ x : ip.src = 10.0.0.1 -> .* ]")
+        expanded = parse_policy(
+            "[ x : ip.src = 10.0.0.1 -> .* ; y : ip.src = 10.0.0.9 -> .* ]"
+        )
+        report = verify_refinement(original, expanded)
+        assert not report.valid
+        assert any(v.kind == "scope" for v in report.violations)
+
+    def test_guarantee_sum_checked(self):
+        original = parse_policy(
+            "[ x : ip.src = 10.0.0.1 -> .* ], min(x, 100Mbps)"
+        )
+        over = parse_policy(
+            "[ a : ip.src = 10.0.0.1 and tcp.dst = 80 -> .* ;"
+            "  b : ip.src = 10.0.0.1 and tcp.dst != 80 -> .* ],"
+            "min(a, 80Mbps) and min(b, 80Mbps)"
+        )
+        assert not verify_refinement(original, over).valid
+        under = parse_policy(
+            "[ a : ip.src = 10.0.0.1 and tcp.dst = 80 -> .* ;"
+            "  b : ip.src = 10.0.0.1 and tcp.dst != 80 -> .* ],"
+            "min(a, 50Mbps) and min(b, 50Mbps)"
+        )
+        assert verify_refinement(original, under).valid
+
+
+class TestNegotiatorTree:
+    def test_delegate_and_refine(self):
+        root = Negotiator(name="admin", policy=parse_policy(DELEGATION_ORIGINAL_SOURCE))
+        tenant = root.delegate_to("tenant-a", parse_predicate("ip.src = 192.168.1.1"))
+        assert tenant.parent is root
+        assert tenant.depth() == 1
+        tenant.propose_or_raise(parse_policy(DELEGATION_REFINED_SOURCE))
+        assert len(tenant.policy.statements) == 3
+
+    def test_invalid_refinement_raises_and_keeps_policy(self):
+        root = Negotiator(name="admin", policy=parse_policy(DELEGATION_ORIGINAL_SOURCE))
+        tenant = root.delegate_to("tenant-a", parse_predicate("ip.src = 192.168.1.1"))
+        before = tenant.policy
+        with pytest.raises(VerificationError):
+            tenant.propose_or_raise(
+                parse_policy(
+                    "[ x : (ip.src = 192.168.1.1 and ip.dst = 192.168.1.2) -> .* ],"
+                    "max(x, 500MB/s)"
+                )
+            )
+        assert tenant.policy is before
+
+    def test_duplicate_child_rejected(self):
+        root = Negotiator(name="admin", policy=parse_policy(DELEGATION_ORIGINAL_SOURCE))
+        root.delegate_to("tenant-a", parse_predicate("ip.src = 192.168.1.1"))
+        with pytest.raises(DelegationError):
+            root.delegate_to("tenant-a", parse_predicate("ip.src = 192.168.1.1"))
+
+    def test_totals_and_reallocation(self):
+        root = Negotiator(name="admin", policy=parse_policy(DELEGATION_ORIGINAL_SOURCE))
+        tenant = root.delegate_to("tenant-a", parse_predicate("ip.src = 192.168.1.1"))
+        tenant.propose_or_raise(parse_policy(DELEGATION_REFINED_SOURCE))
+        assert tenant.total_cap() == Bandwidth.mb_per_sec(100)
+        # Shift bandwidth from y/z to x while staying within the delegated 100 MB/s.
+        report = tenant.reallocate_caps(
+            {
+                "x": Bandwidth.mb_per_sec(80),
+                "y": Bandwidth.mb_per_sec(10),
+                "z": Bandwidth.mb_per_sec(10),
+            }
+        )
+        assert report.valid
+        assert tenant.total_cap() == Bandwidth.mb_per_sec(100)
+        # Exceeding the budget is rejected.
+        report = tenant.reallocate_caps(
+            {
+                "x": Bandwidth.mb_per_sec(80),
+                "y": Bandwidth.mb_per_sec(40),
+                "z": Bandwidth.mb_per_sec(10),
+            }
+        )
+        assert not report.valid
+
+    def test_descendants_and_root(self):
+        root = Negotiator(name="admin", policy=parse_policy(DELEGATION_ORIGINAL_SOURCE))
+        child = root.delegate_to("tenant-a", parse_predicate("ip.src = 192.168.1.1"))
+        assert child.root() is root
+        assert root.descendants() == [child]
+
+
+class TestAimd:
+    def test_sawtooth_stays_under_capacity(self):
+        allocator = AimdAllocator(capacity=Bandwidth.mbps(500))
+        allocator.add_tenant("h1-h2")
+        allocator.add_tenant("h3-h4")
+        trace = allocator.run(steps=60)
+        aggregate = trace.aggregate()
+        assert max(aggregate) <= 500 + 1e-6
+        # The sawtooth must actually oscillate (increase and back off).
+        series = trace.series("h1-h2")
+        assert max(series) > min(series[1:])
+
+    def test_converges_towards_fair_share(self):
+        allocator = AimdAllocator(capacity=Bandwidth.mbps(600))
+        allocator.add_tenant("a")
+        allocator.add_tenant("b")
+        trace = allocator.run(steps=200)
+        tail_a = trace.series("a")[-50:]
+        tail_b = trace.series("b")[-50:]
+        assert abs(sum(tail_a) / 50 - sum(tail_b) / 50) < 100
+
+    def test_demand_limits_growth(self):
+        allocator = AimdAllocator(capacity=Bandwidth.mbps(500))
+        allocator.add_tenant("small")
+        allocator.add_tenant("big")
+        trace = allocator.run(
+            steps=40, demands={"small": Bandwidth.mbps(50), "big": Bandwidth.gbps(1)}
+        )
+        assert max(trace.series("small")) <= 50 + 1e-6
+
+    def test_duplicate_tenant_rejected(self):
+        allocator = AimdAllocator(capacity=Bandwidth.mbps(100))
+        allocator.add_tenant("a")
+        with pytest.raises(Exception):
+            allocator.add_tenant("a")
+
+
+class TestMaxMinFairShare:
+    def test_unsatisfiable_demands_split_equally(self):
+        shares = max_min_fair_share(
+            Bandwidth.mbps(900),
+            {"a": Bandwidth.gbps(1), "b": Bandwidth.gbps(1), "c": Bandwidth.gbps(1)},
+        )
+        assert all(share == Bandwidth.mbps(300) for share in shares.values())
+
+    def test_small_demand_satisfied_first(self):
+        shares = max_min_fair_share(
+            Bandwidth.mbps(900), {"small": Bandwidth.mbps(100), "big": Bandwidth.gbps(1)}
+        )
+        assert shares["small"] == Bandwidth.mbps(100)
+        assert shares["big"] == Bandwidth.mbps(800)
+
+    def test_capacity_never_exceeded(self):
+        shares = max_min_fair_share(
+            Bandwidth.mbps(100),
+            {"a": Bandwidth.mbps(70), "b": Bandwidth.mbps(70), "c": Bandwidth.mbps(10)},
+        )
+        total = sum(share.bps_value for share in shares.values())
+        assert total <= Bandwidth.mbps(100).bps_value + 1e-6
+
+    def test_zero_demand_gets_nothing(self):
+        shares = max_min_fair_share(
+            Bandwidth.mbps(100), {"idle": Bandwidth(0), "busy": Bandwidth.mbps(90)}
+        )
+        assert shares["idle"].bps_value == 0.0
+        assert shares["busy"] == Bandwidth.mbps(90)
+
+    def test_allocator_traces_demand_changes(self):
+        allocator = MaxMinFairAllocator(capacity=Bandwidth.mbps(400))
+        schedule = [
+            {"h1-h2": Bandwidth.mbps(400), "h3-h4": Bandwidth(0)},
+            {"h3-h4": Bandwidth.mbps(400)},
+            {"h1-h2": Bandwidth(0)},
+        ]
+        trace = allocator.run(schedule)
+        assert trace.series("h1-h2")[0] == pytest.approx(400.0)
+        assert trace.series("h1-h2")[1] == pytest.approx(200.0)
+        assert trace.series("h3-h4")[2] == pytest.approx(400.0)

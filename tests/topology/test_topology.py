@@ -1,0 +1,235 @@
+"""Tests for the topology graph, generators, traffic enumeration, and serialisation."""
+
+import json
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import (
+    NodeKind,
+    Topology,
+    all_pairs_traffic,
+    balanced_tree,
+    dumbbell,
+    fat_tree,
+    from_json,
+    linear,
+    select_guaranteed,
+    single_switch,
+    stanford_campus,
+    to_dot,
+    to_json,
+    topology_zoo_ensemble,
+    topology_zoo_like,
+)
+from repro.topology.generators import figure2_example
+from repro.topology.traffic import count_traffic_classes
+from repro.units import Bandwidth
+
+
+class TestTopologyGraph:
+    def test_add_and_query_nodes(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        topo.add_host("h1", attached_switch="s1")
+        topo.add_middlebox("m1", attached_switch="s1")
+        assert topo.num_switches() == 1
+        assert topo.num_hosts() == 1
+        assert topo.node("m1").is_middlebox
+        assert set(topo.locations()) == {"s1", "h1", "m1"}
+
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        with pytest.raises(TopologyError):
+            topo.add_switch("s1")
+
+    def test_link_requires_existing_nodes(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        with pytest.raises(TopologyError):
+            topo.add_link("s1", "s2")
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        with pytest.raises(TopologyError):
+            topo.add_link("s1", "s1")
+
+    def test_capacity_lookup(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        topo.add_switch("s2")
+        topo.add_link("s1", "s2", Bandwidth.mbps(100))
+        assert topo.capacity("s1", "s2") == Bandwidth.mbps(100)
+        assert topo.capacity("s2", "s1") == Bandwidth.mbps(100)
+
+    def test_missing_link_raises(self):
+        topo = single_switch(2)
+        with pytest.raises(TopologyError):
+            topo.link("h1", "h2")
+
+    def test_auto_assigned_addresses_are_unique(self):
+        topo = single_switch(10)
+        macs = [host.mac for host in topo.hosts()]
+        ips = [host.ip for host in topo.hosts()]
+        assert len(set(macs)) == len(macs)
+        assert len(set(ips)) == len(ips)
+
+    def test_host_by_mac(self):
+        topo = single_switch(3)
+        mac = topo.node("h2").mac
+        assert topo.host_by_mac(mac).name == "h2"
+        assert topo.host_by_mac("ff:ff:ff:ff:ff:ff") is None
+
+    def test_attachment_switch(self):
+        topo = figure2_example()
+        assert topo.attachment_switch("h1") == "s1"
+        assert topo.attachment_switch("m1") == "s1"
+        lonely = Topology()
+        lonely.add_host("h1")
+        with pytest.raises(TopologyError):
+            lonely.attachment_switch("h1")
+
+    def test_hosts_on_switch(self):
+        topo = figure2_example()
+        assert topo.hosts_on_switch("s1") == ["h1"]
+        assert topo.hosts_on_switch("s2") == ["h2"]
+
+    def test_switch_subgraph_excludes_hosts(self):
+        topo = fat_tree(4)
+        switches_only = topo.switch_subgraph()
+        assert switches_only.num_hosts() == 0
+        assert switches_only.num_switches() == topo.num_switches()
+
+    def test_shortest_path(self):
+        topo = linear(3)
+        path = topo.shortest_path("h1", "h3")
+        assert path[0] == "h1" and path[-1] == "h3"
+        assert "s2" in path
+
+    def test_no_path_raises(self):
+        topo = Topology()
+        topo.add_switch("s1")
+        topo.add_switch("s2")
+        with pytest.raises(TopologyError):
+            topo.shortest_path("s1", "s2")
+
+    def test_is_connected(self):
+        assert fat_tree(4).is_connected()
+        disconnected = Topology()
+        disconnected.add_switch("s1")
+        disconnected.add_switch("s2")
+        assert not disconnected.is_connected()
+
+
+class TestGenerators:
+    def test_single_switch(self):
+        topo = single_switch(4)
+        assert topo.num_hosts() == 4
+        assert topo.num_switches() == 1
+        assert topo.is_connected()
+
+    def test_linear(self):
+        topo = linear(4, hosts_per_switch=2)
+        assert topo.num_switches() == 4
+        assert topo.num_hosts() == 8
+        assert topo.is_connected()
+
+    def test_figure2(self):
+        topo = figure2_example()
+        assert set(topo.locations()) == {"h1", "h2", "m1", "s1", "s2"}
+        assert topo.has_link("s1", "s2")
+
+    def test_dumbbell_capacities(self):
+        topo = dumbbell()
+        assert topo.capacity("h1", "sa1") == Bandwidth.mb_per_sec(400)
+        assert topo.capacity("h1", "sb1") == Bandwidth.mb_per_sec(100)
+
+    def test_fat_tree_counts(self):
+        # A k-ary fat tree has 5k^2/4 switches and k^3/4 hosts.
+        for k in (4, 6):
+            topo = fat_tree(k)
+            assert topo.num_switches() == 5 * k * k // 4
+            assert topo.num_hosts() == k**3 // 4
+            assert topo.is_connected()
+
+    def test_fat_tree_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            fat_tree(3)
+
+    def test_balanced_tree_counts(self):
+        topo = balanced_tree(depth=2, fanout=3, hosts_per_leaf=2)
+        assert topo.num_switches() == 1 + 3 + 9
+        assert topo.num_hosts() == 9 * 2
+        assert topo.is_connected()
+
+    def test_stanford_campus_shape(self):
+        topo = stanford_campus()
+        assert topo.num_switches() == 16
+        assert topo.num_hosts() == 24
+        assert topo.is_connected()
+
+    def test_topology_zoo_like_connected(self):
+        for seed in range(3):
+            topo = topology_zoo_like(30, seed=seed)
+            assert topo.is_connected()
+            assert topo.num_switches() == 30
+
+    def test_topology_zoo_ensemble_statistics(self):
+        sizes = [t.num_switches() for t in topology_zoo_ensemble(count=40, seed=7)]
+        assert len(sizes) == 40
+        assert max(sizes) == 754  # the forced outlier of Figure 6
+        assert min(sizes) >= 4
+
+
+class TestTraffic:
+    def test_all_pairs_count(self):
+        topo = single_switch(5)
+        classes = all_pairs_traffic(topo)
+        assert len(classes) == 5 * 4
+        assert count_traffic_classes(topo) == 20
+
+    def test_select_guaranteed_fraction(self):
+        topo = single_switch(10)
+        classes = all_pairs_traffic(topo)
+        selected = select_guaranteed(classes, 0.1, Bandwidth.mbps(1), seed=3)
+        guaranteed = [c for c in selected if c.is_guaranteed]
+        assert len(guaranteed) == round(0.1 * len(classes))
+        assert all(c.guarantee == Bandwidth.mbps(1) for c in guaranteed)
+        assert len(selected) == len(classes)
+
+    def test_select_guaranteed_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            select_guaranteed([], 1.5, Bandwidth.mbps(1))
+
+    def test_identifier_format(self):
+        topo = single_switch(2)
+        classes = all_pairs_traffic(topo)
+        assert classes[0].identifier().startswith("tc_")
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        topo = figure2_example()
+        restored = from_json(to_json(topo))
+        assert set(restored.locations()) == set(topo.locations())
+        assert restored.num_links() == topo.num_links()
+        assert restored.capacity("s1", "s2") == topo.capacity("s1", "s2")
+        assert restored.node("h1").mac == topo.node("h1").mac
+
+    def test_from_json_accepts_dict(self):
+        topo = single_switch(2)
+        payload = json.loads(to_json(topo))
+        assert from_json(payload).num_hosts() == 2
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(TopologyError):
+            from_json({"nodes": [{"name": "x"}]})
+
+    def test_dot_output_mentions_every_node(self):
+        topo = figure2_example()
+        dot = to_dot(topo)
+        for name in topo.locations():
+            assert name in dot
+        assert dot.startswith("graph")
