@@ -1,0 +1,15 @@
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test bench bench-smoke
+
+# Tier-1 verification: the full unit + benchmark suite at quick scale.
+test:
+	$(PYTEST) -x -q
+
+# The full benchmark suite (set MERLIN_BENCH_SCALE=full for paper scale).
+bench:
+	$(PYTEST) -q benchmarks
+
+# Fast smoke: the Figure 8 scaling benchmark's smallest point only.
+bench-smoke:
+	$(PYTEST) -q benchmarks/test_fig8_scaling.py::test_fig8_smallest_point_smoke

@@ -10,20 +10,21 @@ the guaranteed path grows much faster because of the MIP.
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.experiments.scaling import figure8_curves
+from repro.experiments.scaling import figure8_curves, measure_compilation
+from repro.topology.generators import fat_tree
 
 from conftest import is_full_scale
 
 
 def _run():
     if is_full_scale():
-        fat = figure8_curves("fat-tree", sizes=(4, 6, 8), guarantee_fraction=0.05)
+        fat = figure8_curves("fat-tree", sizes=(4, 6, 8, 10), guarantee_fraction=0.05)
         balanced = figure8_curves(
             "balanced-tree", sizes=(2, 3, 4), guarantee_fraction=0.05
         )
     else:
         fat = figure8_curves(
-            "fat-tree", sizes=(4, 6), guarantee_fraction=0.05, max_classes=400
+            "fat-tree", sizes=(4, 6, 8), guarantee_fraction=0.05, max_classes=400
         )
         balanced = figure8_curves(
             "balanced-tree", sizes=(2, 3), guarantee_fraction=0.05, max_classes=400
@@ -40,7 +41,8 @@ def test_fig8_scaling(benchmark, report):
                 format_table(
                     [row.as_dict() for row in rows],
                     ["topology", "traffic_classes", "guaranteed",
-                     "lp_construction_ms", "lp_solve_ms", "rateless_ms", "total_ms"],
+                     "lp_construction_ms", "lp_solve_ms", "rateless_ms", "total_ms",
+                     "mip_variables", "mip_constraints"],
                     title=f"Figure 8: {family}, {kind}",
                 )
             )
@@ -54,6 +56,22 @@ def test_fig8_scaling(benchmark, report):
         assert all(row.guaranteed_classes == 0 for row in best_effort)
         # Guaranteed compilations do, and cost more than best-effort overall.
         assert all(row.guaranteed_classes > 0 for row in guaranteed)
+        # MIP construction cost is attributed separately from solve cost.
+        assert all(row.lp_construction_ms > 0.0 for row in guaranteed)
+        assert all(row.mip_variables > 0 for row in guaranteed)
         assert guaranteed[-1].total_ms > best_effort[-1].rateless_ms
         # Compilation time grows with the number of traffic classes.
         assert guaranteed[-1].traffic_classes > guaranteed[0].traffic_classes
+
+
+def test_fig8_smallest_point_smoke():
+    """Smoke target: the smallest Figure 8 point compiles end-to-end in
+    milliseconds (run alone via ``make bench-smoke``)."""
+    row = measure_compilation(fat_tree(4), guarantee_fraction=0.05, max_classes=60)
+    assert row.guaranteed_classes > 0
+    assert row.mip_variables > 0
+    assert row.mip_constraints > 0
+    # Construction and solve time are attributed separately and both paid.
+    assert row.lp_construction_ms > 0.0
+    assert row.lp_solve_ms > 0.0
+    assert row.total_ms >= row.lp_construction_ms

@@ -27,7 +27,7 @@ from .allocation import (
 )
 from .ast import Policy
 from .localization import LocalRates, localize
-from .logical import build_logical_topology, infer_endpoints
+from .logical import LogicalTopology, build_logical_topology, infer_endpoints
 from .parser import parse_policy
 from .preprocessor import preprocess
 from .provisioning import PathSelectionHeuristic, provision
@@ -86,6 +86,31 @@ class MerlinCompiler:
             if not local_rates[statement.identifier].is_guaranteed
         ]
 
+        # Logical topologies are memoized per compile on the statement's
+        # (path expression, endpoint pair) shape: statements sharing that
+        # shape produce identical product graphs (the topology and function
+        # placements are fixed for the whole compile), so duplicates reuse
+        # the built graph instead of recompiling the automaton and re-running
+        # the product construction.
+        logical_cache: Dict[
+            Tuple[Regex, Optional[str], Optional[str]], "LogicalTopology"
+        ] = {}
+
+        def logical_for(statement, source, destination):
+            key = (statement.path, source, destination)
+            cached = logical_cache.get(key)
+            if cached is None:
+                cached = build_logical_topology(
+                    statement,
+                    self.topology,
+                    self.placements,
+                    source=source,
+                    destination=destination,
+                )
+                logical_cache[key] = cached
+                return cached
+            return cached.rebadged(statement.identifier)
+
         # --- Guaranteed traffic: logical topologies + MIP (§3.2) -------------
         lp_construction_seconds = 0.0
         construction_start = time.perf_counter()
@@ -98,12 +123,8 @@ class MerlinCompiler:
                     "guarantee but its source/destination hosts cannot be "
                     "determined from its predicate or path expression"
                 )
-            logical_topologies[statement.identifier] = build_logical_topology(
-                statement,
-                self.topology,
-                self.placements,
-                source=source,
-                destination=destination,
+            logical_topologies[statement.identifier] = logical_for(
+                statement, source, destination
             )
         lp_construction_seconds += time.perf_counter() - construction_start
 
@@ -131,13 +152,7 @@ class MerlinCompiler:
             if _is_unconstrained_path(statement.path):
                 continue
             source, destination = endpoints[statement.identifier]
-            logical = build_logical_topology(
-                statement,
-                self.topology,
-                self.placements,
-                source=source,
-                destination=destination,
-            )
+            logical = logical_for(statement, source, destination)
             found = logical.find_path()
             if found is None:
                 infeasible.append(statement.identifier)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import collections
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..errors import ProvisioningError
@@ -138,6 +139,28 @@ class LogicalTopology:
         """Whether any physical path satisfies the statement's constraints."""
         return self.find_path() is not None
 
+    def rebadged(self, statement_id: str) -> "LogicalTopology":
+        """A view of this topology under another statement's identifier.
+
+        The vertex/edge structures are shared, not copied: two statements
+        with the same (path expression, endpoint pair) shape produce
+        identical product graphs, and nothing mutates a logical topology
+        after construction.  This is what makes memoising
+        :func:`build_logical_topology` at the compiler level cheap.
+        """
+        if statement_id == self.statement_id:
+            return self
+        return LogicalTopology(
+            statement_id=statement_id,
+            source_location=self.source_location,
+            destination_location=self.destination_location,
+            vertices=self.vertices,
+            edges=self.edges,
+            _out=self._out,
+            _in=self._in,
+            _by_link=self._by_link,
+        )
+
 
 def build_logical_topology(
     statement: Statement,
@@ -156,7 +179,7 @@ def build_logical_topology(
     rewritten = substitute_functions(statement.path, placements, locations)
     if source is not None and destination is not None:
         rewritten = _pin_endpoints(rewritten, source, destination)
-    automaton = minimize(_build_automaton(rewritten))
+    automaton = _compiled_automaton(rewritten)
     live = _live_states(automaton)
     if automaton.start not in live:
         # The language is empty: no physical path can satisfy the statement.
@@ -317,12 +340,24 @@ class _RegexIntersection(Regex):
         return f"({self.left}) & ({self.right})"
 
 
-def _build_automaton(expression: Regex) -> DFA:
+@lru_cache(maxsize=4096)
+def _compiled_automaton(expression: Regex) -> DFA:
+    """The minimized DFA of a path expression, memoized by regex value.
+
+    Regex nodes are frozen dataclasses, so structurally identical
+    expressions hash equal: statements sharing a path-expression shape (the
+    common case in the all-pairs scaling workloads, where every statement
+    carries the same ``.*`` before endpoint pinning) compile their automaton
+    once.  Intersection operands recurse through the cache, so even when the
+    pinned expression is unique per statement the shared unpinned side is
+    reused.  The returned DFA is shared between callers and must be treated
+    as immutable (all DFA consumers here are read-only).
+    """
     if isinstance(expression, _RegexIntersection):
-        left = _build_automaton(expression.left)
-        right = _build_automaton(expression.right)
-        return left.intersect(right)
-    return DFA.from_nfa(NFA.from_regex(expression))
+        left = _compiled_automaton(expression.left)
+        right = _compiled_automaton(expression.right)
+        return minimize(left.intersect(right))
+    return minimize(DFA.from_nfa(NFA.from_regex(expression)))
 
 
 def _live_states(automaton: DFA) -> FrozenSet[int]:

@@ -14,6 +14,22 @@ a single-path multi-commodity-flow variant:
 
 Three optimisation criteria are supported (Figure 3): weighted shortest
 path, min-max ratio, and min-max reserved.
+
+Construction pipeline
+---------------------
+The MIP is assembled in a single indexed pass (:func:`build_provisioning_model`):
+each statement's logical edges are walked exactly once, creating the binary
+edge variable, bucketing it by source/target vertex (for the Equation-1 flow
+balances) and by ``tuple(sorted(edge.physical_link))`` (for the Equation-2
+reservation rows).  Reservation constraints are then emitted per physical
+link straight from the bucket, so construction costs O(S·E + L) instead of
+the naive O(S·E·L) rescan of every statement's edges for every link.  All
+loop-grown expressions use the in-place :meth:`~repro.lp.expr.LinExpr.add_term`
+accumulation API rather than the copying ``+`` operator.
+
+:class:`ProvisioningResult` reports construction and solve time separately
+(``lp_construction_seconds`` / ``lp_solve_seconds``) so the Figure 8 scaling
+benchmark can attribute compile time to model building vs the MIP solver.
 """
 
 from __future__ import annotations
@@ -24,9 +40,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ProvisioningError
-from ..lp.expr import LinExpr
+from ..lp.expr import LinExpr, Variable
 from ..lp.model import Model, Objective
-from ..lp.result import SolveStatus
 from ..regex.ast import Regex, Symbol
 from ..regex.substitution import functions_used
 from ..topology.graph import Topology
@@ -92,109 +107,19 @@ def provision(
         )
 
     construction_start = time.perf_counter()
-    model = Model(name="merlin-provisioning")
-    edge_variables: Dict[str, Dict[int, object]] = {}
-
-    # Per-statement edge variables and flow conservation (Equation 1).
-    for statement in statements:
-        logical = logical_topologies[statement.identifier]
-        if logical.num_edges() == 0:
-            raise ProvisioningError(
-                f"statement {statement.identifier!r} has no feasible path "
-                "satisfying its path expression"
-            )
-        variables: Dict[int, object] = {}
-        for index, edge in enumerate(logical.edges):
-            variables[index] = model.add_binary(
-                f"x__{statement.identifier}__{index}"
-            )
-        edge_variables[statement.identifier] = variables
-        for vertex in logical.vertices:
-            outgoing = LinExpr.sum_of(
-                variables[index]
-                for index, edge in enumerate(logical.edges)
-                if edge.source == vertex
-            )
-            incoming = LinExpr.sum_of(
-                variables[index]
-                for index, edge in enumerate(logical.edges)
-                if edge.target == vertex
-            )
-            if vertex == SOURCE:
-                balance = 1.0
-            elif vertex == SINK:
-                balance = -1.0
-            else:
-                balance = 0.0
-            model.add_constraint(
-                (outgoing - incoming).equals(balance),
-                name=f"flow__{statement.identifier}__{vertex[0]}_{vertex[1]}",
-            )
-
-    # Link reservation variables and Equations 2-5.
-    reservation_fraction: Dict[Tuple[str, str], object] = {}
-    r_max = model.add_continuous("r_max", lower=0.0, upper=1.0)
-    big_r_max = model.add_continuous("R_max", lower=0.0)
+    built = build_provisioning_model(
+        statements, logical_topologies, rates, topology, heuristic=heuristic
+    )
+    model = built.model
+    edge_variables = built.edge_variables
+    reservation_fraction = built.reservation_fraction
     links = topology.links()
-    for link in links:
-        key = tuple(sorted((link.source, link.target)))
-        capacity_mbps = link.capacity.bps_value / _MBPS
-        r_uv = model.add_continuous(f"r__{key[0]}__{key[1]}", lower=0.0, upper=1.0)
-        reservation_fraction[key] = r_uv
-        reserved_terms = LinExpr()
-        for statement in statements:
-            guarantee = rates[statement.identifier].guarantee
-            if guarantee is None:
-                continue
-            guarantee_mbps = guarantee.bps_value / _MBPS
-            logical = logical_topologies[statement.identifier]
-            for index, edge in enumerate(logical.edges):
-                if edge.physical_link is None:
-                    continue
-                if tuple(sorted(edge.physical_link)) == key:
-                    reserved_terms = reserved_terms + (
-                        edge_variables[statement.identifier][index] * guarantee_mbps
-                    )
-        # Equation 2: r_uv * c_uv = sum of reserved guarantees on the link.
-        model.add_constraint(
-            (r_uv * capacity_mbps - reserved_terms).equals(0.0),
-            name=f"reserve__{key[0]}__{key[1]}",
-        )
-        # Equation 3: r_max >= r_uv.
-        model.add_constraint(r_max - r_uv >= 0.0, name=f"rmax__{key[0]}__{key[1]}")
-        # Equation 4: R_max >= r_uv * c_uv.
-        model.add_constraint(
-            big_r_max - r_uv * capacity_mbps >= 0.0,
-            name=f"Rmax__{key[0]}__{key[1]}",
-        )
-    # Equation 5 is expressed through the [0, 1] bound on r_max and r_uv.
-
-    # Objective.
-    if heuristic is PathSelectionHeuristic.WEIGHTED_SHORTEST_PATH:
-        objective = LinExpr()
-        for statement in statements:
-            guarantee = rates[statement.identifier].guarantee
-            weight = (guarantee.bps_value / _MBPS) if guarantee else 1.0
-            logical = logical_topologies[statement.identifier]
-            for index, edge in enumerate(logical.edges):
-                if edge.physical_link is not None:
-                    objective = objective + (
-                        edge_variables[statement.identifier][index] * weight
-                    )
-        model.minimize(objective)
-    elif heuristic is PathSelectionHeuristic.MIN_MAX_RATIO:
-        model.minimize(r_max + _edge_tiebreaker(edge_variables))
-    elif heuristic is PathSelectionHeuristic.MIN_MAX_RESERVED:
-        model.minimize(big_r_max + _edge_tiebreaker(edge_variables))
-    else:  # pragma: no cover - the enum is exhaustive
-        raise ProvisioningError(f"unknown heuristic {heuristic!r}")
-
     lp_construction_seconds = time.perf_counter() - construction_start
 
     solve_start = time.perf_counter()
     result = model.solve(solver)
     lp_solve_seconds = time.perf_counter() - solve_start
-    if result.status is not SolveStatus.OPTIMAL:
+    if not result.status.has_solution:
         raise ProvisioningError(
             "bandwidth provisioning is infeasible: the requested guarantees "
             f"cannot be satisfied (solver status: {result.status.value})"
@@ -243,19 +168,188 @@ def provision(
     )
 
 
-def _edge_tiebreaker(edge_variables: Mapping[str, Mapping[int, object]]) -> LinExpr:
+@dataclass
+class ProvisioningModel:
+    """The assembled MIP plus the variable indexes needed to read a solution."""
+
+    model: Model
+    edge_variables: Dict[str, Dict[int, Variable]]
+    reservation_fraction: Dict[Tuple[str, str], Variable]
+    r_max: Variable
+    big_r_max: Variable
+
+
+def build_provisioning_model(
+    statements: Sequence[Statement],
+    logical_topologies: Mapping[str, LogicalTopology],
+    rates: Mapping[str, LocalRates],
+    topology: Topology,
+    heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
+) -> ProvisioningModel:
+    """Assemble the provisioning MIP with a one-pass indexed construction.
+
+    Each statement's logical edges are enumerated exactly once; the pass
+    creates the edge's binary variable and buckets it three ways — by source
+    vertex, by target vertex (both feed the Equation-1 flow balances), and by
+    the undirected physical link it maps onto (feeding the Equation-2
+    reservation row of that link).  Emitting constraints from the buckets
+    makes construction O(S·E + L) in the number of statements S, logical
+    edges per statement E, and physical links L.
+    """
+    model = Model(name="merlin-provisioning")
+    edge_variables: Dict[str, Dict[int, Variable]] = {}
+    # (variable, guarantee_mbps) terms of each physical link's Equation 2.
+    link_terms: Dict[Tuple[str, str], List[Tuple[Variable, float]]] = {}
+
+    # Per-statement edge variables and flow conservation (Equation 1).
+    for statement in statements:
+        logical = logical_topologies[statement.identifier]
+        if logical.num_edges() == 0:
+            raise ProvisioningError(
+                f"statement {statement.identifier!r} has no feasible path "
+                "satisfying its path expression"
+            )
+        guarantee = rates[statement.identifier].guarantee
+        guarantee_mbps = (
+            guarantee.bps_value / _MBPS if guarantee is not None else None
+        )
+        variables: Dict[int, Variable] = {}
+        outgoing: Dict[object, LinExpr] = {}
+        for index, edge in enumerate(logical.edges):
+            variable = model.add_binary(f"x__{statement.identifier}__{index}")
+            variables[index] = variable
+            outgoing.setdefault(edge.source, LinExpr()).add_term(variable, 1.0)
+            outgoing.setdefault(edge.target, LinExpr()).add_term(variable, -1.0)
+            if guarantee_mbps is not None and edge.physical_link is not None:
+                link_key = tuple(sorted(edge.physical_link))
+                link_terms.setdefault(link_key, []).append(
+                    (variable, guarantee_mbps)
+                )
+        edge_variables[statement.identifier] = variables
+        for vertex in logical.vertices:
+            if vertex == SOURCE:
+                balance = 1.0
+            elif vertex == SINK:
+                balance = -1.0
+            else:
+                balance = 0.0
+            model.add_constraint(
+                outgoing.get(vertex, LinExpr()).equals(balance),
+                name=f"flow__{statement.identifier}__{vertex[0]}_{vertex[1]}",
+            )
+
+    # Link reservation variables and Equations 2-5.
+    reservation_fraction: Dict[Tuple[str, str], Variable] = {}
+    r_max = model.add_continuous("r_max", lower=0.0, upper=1.0)
+    big_r_max = model.add_continuous("R_max", lower=0.0)
+    max_capacity_mbps = 0.0
+    for link in topology.links():
+        key = tuple(sorted((link.source, link.target)))
+        capacity_mbps = link.capacity.bps_value / _MBPS
+        max_capacity_mbps = max(max_capacity_mbps, capacity_mbps)
+        r_uv = model.add_continuous(f"r__{key[0]}__{key[1]}", lower=0.0, upper=1.0)
+        reservation_fraction[key] = r_uv
+        # Equation 2: r_uv * c_uv = sum of reserved guarantees on the link,
+        # emitted straight from the link's bucket.
+        reserve = LinExpr.weighted_sum(
+            (variable, -guarantee_mbps)
+            for variable, guarantee_mbps in link_terms.get(key, ())
+        ).add_term(r_uv, capacity_mbps)
+        model.add_constraint(
+            reserve.equals(0.0), name=f"reserve__{key[0]}__{key[1]}"
+        )
+        # Equation 3: r_max >= r_uv.
+        model.add_constraint(r_max - r_uv >= 0.0, name=f"rmax__{key[0]}__{key[1]}")
+        # Equation 4: R_max >= r_uv * c_uv.
+        model.add_constraint(
+            big_r_max - r_uv * capacity_mbps >= 0.0,
+            name=f"Rmax__{key[0]}__{key[1]}",
+        )
+    # Equation 5 is expressed through the [0, 1] bound on r_max and r_uv.
+
+    # Objective.
+    if heuristic is PathSelectionHeuristic.WEIGHTED_SHORTEST_PATH:
+        objective = LinExpr()
+        for statement in statements:
+            guarantee = rates[statement.identifier].guarantee
+            weight = (guarantee.bps_value / _MBPS) if guarantee else 1.0
+            logical = logical_topologies[statement.identifier]
+            variables = edge_variables[statement.identifier]
+            for index, edge in enumerate(logical.edges):
+                if edge.physical_link is not None:
+                    objective.add_term(variables[index], weight)
+        model.minimize(objective)
+    elif heuristic is PathSelectionHeuristic.MIN_MAX_RATIO:
+        # Genuine r_max optima differ by at least the smallest guarantee as
+        # a fraction of the largest capacity; cap the total tiebreaker below
+        # that quantum so it can never outweigh a real utilization
+        # improvement (and below 1e-3 regardless, r_max being a fraction).
+        quantum = (
+            _guarantee_quantum_mbps(statements, rates) / max_capacity_mbps
+            if max_capacity_mbps > 0.0
+            else 1.0
+        )
+        tiebreaker = _edge_tiebreaker(edge_variables, magnitude=min(1e-3, quantum))
+        model.minimize(tiebreaker.add_term(r_max, 1.0))
+    elif heuristic is PathSelectionHeuristic.MIN_MAX_RESERVED:
+        # R_max is in Mbps; genuine optima differ by (combinations of) the
+        # statement guarantees, so keep the total penalty three orders of
+        # magnitude below the smallest one.
+        magnitude = _guarantee_quantum_mbps(statements, rates) * 1e-3
+        tiebreaker = _edge_tiebreaker(edge_variables, magnitude=magnitude)
+        model.minimize(tiebreaker.add_term(big_r_max, 1.0))
+    else:  # pragma: no cover - the enum is exhaustive
+        raise ProvisioningError(f"unknown heuristic {heuristic!r}")
+
+    return ProvisioningModel(
+        model=model,
+        edge_variables=edge_variables,
+        reservation_fraction=reservation_fraction,
+        r_max=r_max,
+        big_r_max=big_r_max,
+    )
+
+
+def _guarantee_quantum_mbps(
+    statements: Sequence[Statement], rates: Mapping[str, LocalRates]
+) -> float:
+    """The smallest guarantee (Mbps) among the statements — the step size by
+    which reservation objectives can genuinely differ (1.0 when none)."""
+    guarantees_mbps = [
+        rates[statement.identifier].guarantee.bps_value / _MBPS
+        for statement in statements
+        if rates[statement.identifier].guarantee is not None
+    ]
+    return min(guarantees_mbps) if guarantees_mbps else 1.0
+
+
+def _edge_tiebreaker(
+    edge_variables: Mapping[str, Mapping[int, Variable]], magnitude: float = 1e-3
+) -> LinExpr:
     """A tiny penalty on every selected edge.
 
     The min-max objectives are indifferent to how many edges a statement
     uses, so without a tiebreaker the MIP may return a path plus spurious
     disconnected cycles (which satisfy flow conservation).  A negligible
     per-edge cost removes them without affecting the min-max optimum.
+
+    The per-edge epsilon is ``magnitude / (total_edges + 1)``, so the total
+    penalty stays strictly below ``magnitude`` even if every edge were
+    selected; callers pass a magnitude below the smallest genuine objective
+    difference (the guarantee quantum).  (A fixed per-edge epsilon would
+    grow linearly with the number of selected edges and, on topologies with
+    thousands of logical edges, could exceed genuine objective differences
+    and distort the min-max optimum; an epsilon much further below the
+    quantum would fall under the solver's tolerances and stop suppressing
+    cycles.)
     """
-    expression = LinExpr()
-    for variables in edge_variables.values():
-        for variable in variables.values():
-            expression = expression + (variable * 1e-6)
-    return expression
+    total_edges = sum(len(variables) for variables in edge_variables.values())
+    epsilon = magnitude / (total_edges + 1)
+    return LinExpr.weighted_sum(
+        (variable, epsilon)
+        for variables in edge_variables.values()
+        for variable in variables.values()
+    )
 
 
 def _extract_path(selected_edges: Sequence[LogicalEdge]) -> List[str]:

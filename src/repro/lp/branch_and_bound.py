@@ -13,6 +13,14 @@ variables and bounding with LP relaxations solved by ``scipy.optimize.linprog``
 The solver uses best-first search on the LP relaxation bound with
 most-fractional branching, which is entirely adequate for the path-selection
 MIPs Merlin generates (binary edge variables with network-flow structure).
+
+Incumbent bookkeeping follows standard branch-and-bound semantics: when the
+search is interrupted by the time limit or the node limit while a feasible
+incumbent exists, the incumbent is returned with
+:attr:`~repro.lp.result.SolveStatus.FEASIBLE` (not ``OPTIMAL``), and the
+smallest open relaxation bound is surfaced in ``statistics["best_bound"]``
+(with ``statistics["gap"]`` the absolute incumbent/bound gap).  ``OPTIMAL``
+is only reported once every open node is exhausted or dominated.
 """
 
 from __future__ import annotations
@@ -79,17 +87,23 @@ class BranchAndBoundSolver:
                 statistics={"nodes": 1, "solve_seconds": time.perf_counter() - started},
             )
         heap: List[_Node] = [_Node(root[1], next(counter), lower, upper)]
+        interrupted = False
 
         while heap:
             explored += 1
             if explored > self.max_nodes:
-                raise SolverError(
-                    f"branch-and-bound exceeded the node limit ({self.max_nodes})"
-                )
+                if incumbent is None:
+                    raise SolverError(
+                        f"branch-and-bound exceeded the node limit ({self.max_nodes}) "
+                        "without finding a feasible solution"
+                    )
+                interrupted = True
+                break
             if (
                 self.time_limit_seconds is not None
                 and time.perf_counter() - started > self.time_limit_seconds
             ):
+                interrupted = True
                 break
             node = heapq.heappop(heap)
             if node.bound >= incumbent_objective - self.absolute_gap:
@@ -125,8 +139,13 @@ class BranchAndBoundSolver:
 
         elapsed = time.perf_counter() - started
         if incumbent is None:
+            # The search ran to exhaustion without an integer-feasible point.
+            # (An interrupted search without an incumbent cannot conclude
+            # infeasibility, but the time-limit break above only triggers
+            # after at least the root relaxation succeeded; report the honest
+            # outcome either way.)
             return SolveResult(
-                status=SolveStatus.INFEASIBLE,
+                status=SolveStatus.ERROR if interrupted else SolveStatus.INFEASIBLE,
                 statistics={"nodes": explored, "solve_seconds": elapsed},
             )
         values = {
@@ -136,13 +155,29 @@ class BranchAndBoundSolver:
             variable = form.variables[position]
             values[variable] = float(round(values[variable]))
         objective_value = incumbent_objective
+        # The best bound is the smallest relaxation bound still open; when the
+        # heap is empty (or every open node is dominated by the incumbent) the
+        # incumbent is proven optimal.
+        best_bound = min((node.bound for node in heap), default=incumbent_objective)
+        best_bound = min(best_bound, incumbent_objective)
+        proven = (
+            not interrupted
+            or not heap
+            or best_bound >= incumbent_objective - self.absolute_gap
+        )
         if form.maximize:
             objective_value = -objective_value
+            best_bound = -best_bound
         return SolveResult(
-            status=SolveStatus.OPTIMAL,
+            status=SolveStatus.OPTIMAL if proven else SolveStatus.FEASIBLE,
             values=values,
             objective=objective_value,
-            statistics={"nodes": explored, "solve_seconds": elapsed},
+            statistics={
+                "nodes": explored,
+                "solve_seconds": elapsed,
+                "best_bound": best_bound,
+                "gap": abs(objective_value - best_bound),
+            },
         )
 
     # -- internals ---------------------------------------------------------------

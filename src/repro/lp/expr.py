@@ -89,8 +89,55 @@ class LinExpr:
         """Sum an iterable of variables, expressions, and numbers."""
         total = LinExpr()
         for term in terms:
-            total = total + term
+            total.add(term)
         return total
+
+    @staticmethod
+    def weighted_sum(
+        pairs: Iterable[Tuple[Variable, Number]], constant: float = 0.0
+    ) -> "LinExpr":
+        """Build ``sum(coefficient * variable)`` in one pass.
+
+        The loop-growing equivalent ``expr = expr + var * coeff`` copies the
+        whole coefficient dict on every term (quadratic in the number of
+        terms); this builds the dict once.
+        """
+        total = LinExpr(constant=constant)
+        coefficients = total.coefficients
+        for variable, coefficient in pairs:
+            coefficients[variable] = coefficients.get(variable, 0.0) + coefficient
+        return total
+
+    def add_term(self, variable: Variable, coefficient: Number = 1.0) -> "LinExpr":
+        """Add ``coefficient * variable`` in place and return ``self``.
+
+        This is the accumulation primitive for expressions grown inside
+        loops (flow-conservation sums, per-link reservation sums, objective
+        assembly): unlike ``+`` it never copies the coefficient dict.
+        """
+        self.coefficients[variable] = (
+            self.coefficients.get(variable, 0.0) + coefficient
+        )
+        return self
+
+    def add_constant(self, value: Number) -> "LinExpr":
+        """Add a constant in place and return ``self``."""
+        self.constant += float(value)
+        return self
+
+    def add(self, other: Union["LinExpr", Variable, Number]) -> "LinExpr":
+        """Add another expression/variable/number in place and return ``self``."""
+        if isinstance(other, Variable):
+            return self.add_term(other, 1.0)
+        if isinstance(other, (int, float)):
+            return self.add_constant(other)
+        rhs = self._coerce(other)
+        for variable, coefficient in rhs.coefficients.items():
+            self.coefficients[variable] = (
+                self.coefficients.get(variable, 0.0) + coefficient
+            )
+        self.constant += rhs.constant
+        return self
 
     def copy(self) -> "LinExpr":
         return LinExpr(dict(self.coefficients), self.constant)

@@ -144,7 +144,15 @@ class Model:
     # -- standard form ----------------------------------------------------------
 
     def to_standard_form(self) -> StandardForm:
-        """Export the model as dense matrices for SciPy's solvers."""
+        """Export the model as dense matrices for SciPy's solvers.
+
+        Matrix assembly is vectorized: constraints are flattened into
+        coordinate triplets ``(row, column, value)`` in one pass and scattered
+        into the dense matrices with ``np.add.at`` (which accumulates
+        duplicate coordinates exactly like the per-row ``+=`` of a scalar
+        build), instead of materialising one dense numpy row per constraint
+        and stacking them.
+        """
         variables = self.variables()
         index = {variable: position for position, variable in enumerate(variables)}
         num_vars = len(variables)
@@ -156,31 +164,42 @@ class Model:
         if maximize:
             c = -c
 
-        ub_rows: List[np.ndarray] = []
+        ub_coords: Tuple[List[int], List[int], List[float]] = ([], [], [])
         ub_rhs: List[float] = []
-        eq_rows: List[np.ndarray] = []
+        eq_coords: Tuple[List[int], List[int], List[float]] = ([], [], [])
         eq_rhs: List[float] = []
         for constraint in self._constraints:
-            row = np.zeros(num_vars)
+            sense = constraint.sense
+            if sense is Sense.EQUAL:
+                rows, cols, vals = eq_coords
+                row_number = len(eq_rhs)
+                sign = 1.0
+            else:
+                rows, cols, vals = ub_coords
+                row_number = len(ub_rhs)
+                # >= rows are negated into <= form.
+                sign = 1.0 if sense is Sense.LESS_EQUAL else -1.0
             for variable, coefficient in constraint.expression.coefficients.items():
-                if variable not in index:
+                position = index.get(variable)
+                if position is None:
                     raise SolverError(
                         f"constraint references variable {variable.name!r} not in model"
                     )
-                row[index[variable]] += coefficient
+                rows.append(row_number)
+                cols.append(position)
+                vals.append(sign * coefficient)
             rhs = -constraint.expression.constant
-            if constraint.sense is Sense.LESS_EQUAL:
-                ub_rows.append(row)
-                ub_rhs.append(rhs)
-            elif constraint.sense is Sense.GREATER_EQUAL:
-                ub_rows.append(-row)
-                ub_rhs.append(-rhs)
-            else:
-                eq_rows.append(row)
+            if sense is Sense.EQUAL:
                 eq_rhs.append(rhs)
+            else:
+                ub_rhs.append(sign * rhs)
 
-        a_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, num_vars))
-        a_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, num_vars))
+        a_ub = np.zeros((len(ub_rhs), num_vars))
+        if ub_coords[0]:
+            np.add.at(a_ub, (ub_coords[0], ub_coords[1]), ub_coords[2])
+        a_eq = np.zeros((len(eq_rhs), num_vars))
+        if eq_coords[0]:
+            np.add.at(a_eq, (eq_coords[0], eq_coords[1]), eq_coords[2])
         bounds = [(variable.lower, variable.upper) for variable in variables]
         integrality = np.array(
             [1 if variable.is_integer else 0 for variable in variables], dtype=int

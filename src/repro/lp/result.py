@@ -10,9 +10,16 @@ from .expr import Variable
 
 
 class SolveStatus(enum.Enum):
-    """Outcome of a solve attempt."""
+    """Outcome of a solve attempt.
+
+    ``FEASIBLE`` means the solver found an integer-feasible incumbent but
+    stopped (time or node limit) before proving it optimal; the incumbent is
+    returned in ``values`` and the remaining best bound, when known, is
+    surfaced in ``statistics["best_bound"]``.
+    """
 
     OPTIMAL = "optimal"
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ERROR = "error"
@@ -20,6 +27,11 @@ class SolveStatus(enum.Enum):
     @property
     def is_optimal(self) -> bool:
         return self is SolveStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a usable variable assignment accompanies this status."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
 
 
 @dataclass
@@ -48,3 +60,8 @@ class SolveResult:
     @property
     def is_optimal(self) -> bool:
         return self.status.is_optimal
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether the result carries a usable (possibly non-proven) solution."""
+        return self.status.has_solution

@@ -83,8 +83,10 @@ class ScipySolver:
 
     @staticmethod
     def _wrap(form: StandardForm, status_code: int, solution, objective) -> SolveResult:
-        # linprog and milp share status codes: 0 optimal, 2 infeasible, 3 unbounded.
-        if status_code == 0 and solution is not None:
+        # linprog and milp share status codes: 0 optimal, 1 iteration/time
+        # limit, 2 infeasible, 3 unbounded.  A limit hit with an incumbent in
+        # hand is a usable-but-unproven solution: FEASIBLE, not OPTIMAL.
+        if status_code in (0, 1) and solution is not None:
             values = {
                 variable: float(value) for variable, value in zip(form.variables, solution)
             }
@@ -96,7 +98,9 @@ class ScipySolver:
             if form.maximize:
                 objective_value = -objective_value
             return SolveResult(
-                status=SolveStatus.OPTIMAL, values=values, objective=objective_value
+                status=SolveStatus.OPTIMAL if status_code == 0 else SolveStatus.FEASIBLE,
+                values=values,
+                objective=objective_value,
             )
         if status_code == 2:
             return SolveResult(status=SolveStatus.INFEASIBLE)

@@ -20,18 +20,35 @@ from ..units import Bandwidth
 
 @dataclass
 class AimdTrace:
-    """The time series produced by an AIMD run."""
+    """The time series produced by an AIMD run.
+
+    Every tenant's series is kept aligned with ``times``: a tenant joining
+    mid-run has its series front-padded with zeros (it held no allocation
+    before it existed), and a tenant that leaves keeps accruing zeros.  This
+    keeps :meth:`series` and :meth:`aggregate` index-aligned regardless of
+    when tenants come and go.
+    """
 
     times: List[float] = field(default_factory=list)
     allocations: Dict[str, List[float]] = field(default_factory=dict)
 
     def record(self, time: float, rates: Mapping[str, Bandwidth]) -> None:
         self.times.append(time)
+        steps = len(self.times)
         for tenant, rate in rates.items():
-            self.allocations.setdefault(tenant, []).append(rate.mbps_value)
+            series = self.allocations.get(tenant)
+            if series is None:
+                # A late joiner: zero allocation for the steps it missed.
+                series = [0.0] * (steps - 1)
+                self.allocations[tenant] = series
+            series.append(rate.mbps_value)
+        # Tenants absent from this snapshot (e.g. removed) hold nothing.
+        for series in self.allocations.values():
+            if len(series) < steps:
+                series.extend([0.0] * (steps - len(series)))
 
     def series(self, tenant: str) -> List[float]:
-        """The Mbps allocation series of one tenant."""
+        """The Mbps allocation series of one tenant (aligned with ``times``)."""
         return list(self.allocations.get(tenant, []))
 
     def aggregate(self) -> List[float]:
@@ -122,7 +139,4 @@ class AimdAllocator:
         return trace
 
     def _total(self) -> Bandwidth:
-        total = Bandwidth(0.0)
-        for rate in self._allocations.values():
-            total = total + rate
-        return total
+        return Bandwidth(sum(rate.bps_value for rate in self._allocations.values()))

@@ -182,9 +182,12 @@ def verify_refinement(original: Policy, refined: Policy) -> VerificationReport:
             related_clause_positions = set()
             for identifier in related:
                 related_clause_positions.update(clauses_by_identifier.get(identifier, ()))
-            refined_total = Bandwidth(0.0)
-            for position in related_clause_positions:
-                refined_total = refined_total + refined_table[position][1]
+            refined_total = Bandwidth(
+                sum(
+                    refined_table[position][1].bps_value
+                    for position in related_clause_positions
+                )
+            )
             if refined_total.bps_value > original_rate.bps_value + 1.0:
                 violations.append(
                     Violation(

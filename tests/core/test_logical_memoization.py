@@ -1,0 +1,72 @@
+"""Memoization of logical-topology construction.
+
+Statements sharing a (path expression, endpoint pair) shape compile to
+identical product graphs, so the compiler reuses the built graph (rebadged
+under the new statement identifier) and the automaton cache reuses the
+minimized DFA of structurally equal path expressions.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import MerlinCompiler
+from repro.core.logical import _compiled_automaton, build_logical_topology
+from repro.core.parser import parse_policy
+from repro.regex.parser import parse_path_expression
+from repro.topology.generators import figure2_example
+from repro.units import Bandwidth
+
+
+def test_compiled_automaton_is_cached_by_regex_value():
+    # Two separately parsed but structurally equal expressions hit the same
+    # cache entry (Regex nodes are frozen dataclasses comparing by value).
+    first = _compiled_automaton(parse_path_expression(".* s1 .*"))
+    second = _compiled_automaton(parse_path_expression(".* s1 .*"))
+    assert first is second
+
+
+def test_rebadged_topology_shares_structure():
+    topology = figure2_example(capacity=Bandwidth.gbps(2))
+    policy = parse_policy(
+        "[ x : (eth.src = 00:00:00:00:00:01 and eth.dst = 00:00:00:00:00:02) -> .* ]",
+        topology=topology,
+    )
+    statement = policy.statements[0]
+    logical = build_logical_topology(
+        statement, topology, {}, source="h1", destination="h2"
+    )
+    view = logical.rebadged("other")
+    assert view.statement_id == "other"
+    assert view.edges is logical.edges
+    assert view.vertices is logical.vertices
+    assert view.num_edges() == logical.num_edges()
+    # Rebadging under the same identifier is the identity.
+    assert logical.rebadged(statement.identifier) is logical
+
+
+def test_compile_with_duplicate_shapes_reuses_logical_topology(monkeypatch):
+    """Two guaranteed statements with the same path and endpoints trigger one
+    logical-topology build; the compiled paths are identical."""
+    topology = figure2_example(capacity=Bandwidth.gbps(2))
+    source = """
+    [ x : (eth.src = 00:00:00:00:00:01 and
+           eth.dst = 00:00:00:00:00:02 and
+           tcp.dst = 80) -> .* ;
+      y : (eth.src = 00:00:00:00:00:01 and
+           eth.dst = 00:00:00:00:00:02 and
+           tcp.dst = 443) -> .* ],
+    min(x, 10MB/s) and min(y, 10MB/s)
+    """
+    calls = []
+    import repro.core.compiler as compiler_module
+
+    real_build = compiler_module.build_logical_topology
+
+    def counting_build(*args, **kwargs):
+        calls.append(1)
+        return real_build(*args, **kwargs)
+
+    monkeypatch.setattr(compiler_module, "build_logical_topology", counting_build)
+    compiler = MerlinCompiler(topology=topology, overlap="trust", add_catch_all=False)
+    result = compiler.compile(source)
+    assert len(calls) == 1, "the second statement should reuse the memoized build"
+    assert result.paths["x"].path == result.paths["y"].path

@@ -255,3 +255,102 @@ class TestSolverCrossCheckProperties:
         bb_result = BranchAndBoundSolver().solve(model)
         assert scipy_result.objective == pytest.approx(brute)
         assert bb_result.objective == pytest.approx(brute)
+
+
+class TestInPlaceAccumulation:
+    """The in-place LinExpr growth API used on the MIP construction hot path."""
+
+    def test_add_term_matches_operator_add(self):
+        xs = [Variable(f"x{i}") for i in range(6)]
+        grown = LinExpr()
+        for i, x in enumerate(xs):
+            grown.add_term(x, float(i + 1))
+        operator_built = LinExpr.sum_of((i + 1) * x for i, x in enumerate(xs))
+        assert grown.coefficients == operator_built.coefficients
+        assert grown.constant == operator_built.constant
+
+    def test_add_term_accumulates_duplicates(self):
+        x = Variable("x")
+        expression = LinExpr().add_term(x, 1.5).add_term(x, 2.5)
+        assert expression.coefficients[x] == 4.0
+
+    def test_add_term_returns_self(self):
+        x = Variable("x")
+        expression = LinExpr()
+        assert expression.add_term(x) is expression
+
+    def test_weighted_sum(self):
+        xs = [Variable(f"x{i}") for i in range(4)]
+        pairs = [(x, float(i)) for i, x in enumerate(xs)]
+        expression = LinExpr.weighted_sum(pairs, constant=7.0)
+        assert expression.constant == 7.0
+        assert all(expression.coefficients[x] == float(i) for i, x in enumerate(xs))
+
+    def test_add_handles_expressions_variables_and_numbers(self):
+        x, y = Variable("x"), Variable("y")
+        expression = LinExpr()
+        expression.add(x).add(2.0).add(3 * y + 1)
+        assert expression.coefficients == {x: 1.0, y: 3.0}
+        assert expression.constant == 3.0
+
+    def test_add_constant(self):
+        expression = LinExpr().add_constant(2).add_constant(0.5)
+        assert expression.constant == 2.5
+
+
+class TestSolverInterruption:
+    """Regression tests: interrupted searches must not mislabel their result."""
+
+    @staticmethod
+    def _knapsack(n=12):
+        model = Model()
+        weights = [3 + (i * 7) % 11 for i in range(n)]
+        values = [5 + (i * 5) % 13 for i in range(n)]
+        xs = [model.add_binary(f"x{i}") for i in range(n)]
+        model.add_constraint(
+            LinExpr.sum_of(w * x for w, x in zip(weights, xs)) <= sum(weights) // 3
+        )
+        model.maximize(LinExpr.sum_of(v * x for v, x in zip(values, xs)))
+        return model
+
+    def test_node_limit_with_incumbent_returns_feasible(self):
+        model = self._knapsack()
+        optimal = BranchAndBoundSolver().solve(model)
+        assert optimal.status is SolveStatus.OPTIMAL
+
+        limited = BranchAndBoundSolver(max_nodes=10).solve(model)
+        assert limited.status is SolveStatus.FEASIBLE
+        assert limited.status.has_solution
+        assert limited.values, "the incumbent assignment must be returned"
+        # The incumbent is genuinely feasible...
+        for constraint in model.constraints():
+            assert constraint.satisfied(limited.values)
+        # ...and no better than the true optimum.
+        assert limited.objective <= optimal.objective + 1e-6
+        # The remaining best bound is surfaced and brackets the optimum
+        # (an upper bound, since this model maximizes).
+        assert "best_bound" in limited.statistics
+        assert limited.statistics["best_bound"] >= optimal.objective - 1e-6
+        assert limited.statistics["gap"] >= 0.0
+
+    def test_node_limit_without_incumbent_raises(self):
+        with pytest.raises(SolverError):
+            BranchAndBoundSolver(max_nodes=2).solve(self._knapsack())
+
+    def test_generous_node_limit_still_proves_optimality(self):
+        result = BranchAndBoundSolver(max_nodes=200_000).solve(self._knapsack())
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.statistics["best_bound"] == pytest.approx(result.objective)
+
+    def test_time_limit_before_any_exploration_is_not_optimal(self):
+        # A zero time limit interrupts before the first node: the solver
+        # must not claim OPTIMAL (the old bug) nor INFEASIBLE.
+        result = BranchAndBoundSolver(time_limit_seconds=0.0).solve(self._knapsack())
+        assert result.status is SolveStatus.ERROR
+        assert not result.status.has_solution
+
+    def test_feasible_status_properties(self):
+        assert SolveStatus.FEASIBLE.has_solution
+        assert not SolveStatus.FEASIBLE.is_optimal
+        assert SolveStatus.OPTIMAL.has_solution
+        assert not SolveStatus.INFEASIBLE.has_solution

@@ -264,3 +264,44 @@ class TestMaxMinFairShare:
         assert trace.series("h1-h2")[0] == pytest.approx(400.0)
         assert trace.series("h1-h2")[1] == pytest.approx(200.0)
         assert trace.series("h3-h4")[2] == pytest.approx(400.0)
+
+
+class TestAimdTraceAlignment:
+    """Regression: series must stay aligned with ``times`` when tenants come
+    and go mid-run (late joiners used to have short series and ``aggregate``
+    raised ``IndexError``)."""
+
+    def test_late_joiner_series_is_front_padded(self):
+        from repro.negotiator.aimd import AimdTrace
+
+        trace = AimdTrace()
+        trace.record(0.0, {"a": Bandwidth.mbps(10)})
+        trace.record(1.0, {"a": Bandwidth.mbps(20), "b": Bandwidth.mbps(5)})
+        assert trace.series("a") == [10.0, 20.0]
+        assert trace.series("b") == [0.0, 5.0]
+        assert trace.aggregate() == [10.0, 25.0]
+
+    def test_departed_tenant_series_is_back_padded(self):
+        from repro.negotiator.aimd import AimdTrace
+
+        trace = AimdTrace()
+        trace.record(0.0, {"a": Bandwidth.mbps(10), "b": Bandwidth.mbps(5)})
+        trace.record(1.0, {"a": Bandwidth.mbps(20)})
+        assert trace.series("b") == [5.0, 0.0]
+        assert trace.aggregate() == [15.0, 20.0]
+
+    def test_allocator_run_with_mid_run_join(self):
+        allocator = AimdAllocator(capacity=Bandwidth.mbps(100))
+        allocator.add_tenant("a")
+        trace = allocator.run(steps=3)
+        allocator.add_tenant("b")
+        for index in range(4, 7):
+            allocator.step()
+            trace.record(float(index), allocator.allocations())
+        # Every series spans the whole trace and aggregation works.
+        assert len(trace.series("a")) == len(trace.times)
+        assert len(trace.series("b")) == len(trace.times)
+        aggregate = trace.aggregate()
+        assert len(aggregate) == len(trace.times)
+        # The late joiner contributed nothing before it existed.
+        assert all(value == 0.0 for value in trace.series("b")[:4])
