@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-smoke
+.PHONY: test bench bench-smoke bench-reprovision
 
 # Tier-1 verification: the full unit + benchmark suite at quick scale.
 test:
@@ -10,6 +10,13 @@ test:
 bench:
 	$(PYTEST) -q benchmarks
 
-# Fast smoke: the Figure 8 scaling benchmark's smallest point only.
+# Fast smoke: the smallest Figure 8 scaling point plus one incremental
+# re-provisioning round trip.
 bench-smoke:
-	$(PYTEST) -q benchmarks/test_fig8_scaling.py::test_fig8_smallest_point_smoke
+	$(PYTEST) -q benchmarks/test_fig8_scaling.py::test_fig8_smallest_point_smoke \
+		benchmarks/test_fig10b_reprovisioning.py::test_reprovision_smoke
+
+# Figure 10b': incremental re-provisioning latency vs full recompiles
+# (writes benchmarks/results/fig10b_reprovisioning.txt).
+bench-reprovision:
+	$(PYTEST) -q benchmarks/test_fig10b_reprovisioning.py

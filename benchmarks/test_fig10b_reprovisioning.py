@@ -1,0 +1,70 @@
+"""Figure 10 (b') — incremental re-provisioning vs full recompilation.
+
+The paper's adaptation claim (§4.3) is that run-time changes avoid global
+recompilation.  This benchmark measures the extension of that claim to
+path-changing deltas: on the arity-8 fat tree with one pod-local tenant per
+pod, adding ``d`` guaranteed statements is re-provisioned incrementally
+(``MerlinCompiler.recompile``: splice + re-solve only the ``d`` dirty pod
+components) and compared against a from-scratch ``compile()`` of the same
+extended policy.  Both must produce identical paths and reservations; the
+acceptance bar is a >= 5x latency advantage for a 1-statement delta.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.experiments.reprovisioning import measure_reprovisioning
+
+from conftest import is_full_scale
+
+COLUMNS = [
+    "arity", "statements", "partitions", "delta_size", "dirty_partitions",
+    "full_ms", "incremental_ms", "speedup", "identical",
+]
+
+
+def _run():
+    if is_full_scale():
+        return measure_reprovisioning(
+            arity=8, pairs_per_pod=4, delta_sizes=(1, 2, 4, 8), repeats=5
+        )
+    return measure_reprovisioning(
+        arity=8, pairs_per_pod=3, delta_sizes=(1, 2, 4), repeats=3
+    )
+
+
+def test_fig10b_reprovisioning(benchmark, report):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "fig10b_reprovisioning",
+        format_table(
+            [row.as_dict() for row in rows],
+            COLUMNS,
+            title="Figure 10b': delta size vs incremental / full re-provisioning latency (fat-tree k=8)",
+        ),
+    )
+    # The incremental path must be indistinguishable from a full compile...
+    assert all(row.identical for row in rows)
+    # ...touch exactly the components the delta touched...
+    assert all(row.dirty_partitions == row.delta_size for row in rows)
+    assert all(row.partitions == row.arity for row in rows)
+    # ...and beat the full compile soundly on small deltas (acceptance: a
+    # 1-statement delta on the arity-8 fat tree re-provisions >= 5x faster).
+    one_statement = next(row for row in rows if row.delta_size == 1)
+    assert one_statement.speedup >= 5.0, (
+        f"1-statement delta speedup {one_statement.speedup:.1f}x < 5x "
+        f"(incremental {one_statement.incremental_ms:.1f}ms vs "
+        f"full {one_statement.full_ms:.1f}ms)"
+    )
+    # Larger deltas still win while re-solving proportionally more.
+    assert all(row.speedup > 1.0 for row in rows)
+
+
+def test_reprovision_smoke():
+    """Smoke target: a tiny fat tree round-trips one delta in milliseconds
+    (run via ``make bench-smoke`` / ``make bench-reprovision``)."""
+    rows = measure_reprovisioning(
+        arity=4, pairs_per_pod=1, delta_sizes=(1,), repeats=2
+    )
+    (row,) = rows
+    assert row.identical
+    assert row.dirty_partitions == 1
+    assert row.incremental_ms < row.full_ms

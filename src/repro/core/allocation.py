@@ -77,7 +77,13 @@ class CompilationStatistics:
 
     The field names follow the columns of Figure 7: LP construction time,
     LP solution time, and rateless (best-effort) solution time.  Additional
-    counters record the sizes of the generated MIP.
+    counters record the sizes of the generated MIP and the solver's own
+    diagnostics: ``solver_status`` distinguishes proven-optimal solves from
+    time-limited ``"feasible"`` incumbents, whose remaining MIP gap is
+    surfaced in ``mip_gap`` / ``mip_best_bound``.  ``num_partitions`` /
+    ``dirty_partitions`` report how the provisioning MIP decomposed and how
+    much of it an incremental recompile actually re-solved (for a full
+    compile the two are equal).
     """
 
     lp_construction_seconds: float = 0.0
@@ -89,8 +95,28 @@ class CompilationStatistics:
     num_guaranteed_statements: int = 0
     num_mip_variables: int = 0
     num_mip_constraints: int = 0
+    solver_status: str = ""
+    mip_nodes: float = 0.0
+    mip_best_bound: Optional[float] = None
+    mip_gap: Optional[float] = None
+    num_partitions: int = 0
+    dirty_partitions: int = 0
 
-    def as_row(self) -> Dict[str, float]:
+    def record_provisioning(self, provisioning) -> None:
+        """Copy solver diagnostics from a ``ProvisioningResult``."""
+        self.solver_status = provisioning.solve_status
+        statistics = provisioning.solve_statistics
+        self.mip_nodes = float(statistics.get("nodes", 0.0))
+        if "best_bound" in statistics:
+            self.mip_best_bound = float(statistics["best_bound"])
+        if "gap" in statistics:
+            self.mip_gap = float(statistics["gap"])
+        self.num_partitions = provisioning.num_partitions
+        self.dirty_partitions = int(
+            statistics.get("partitions_dirty", provisioning.num_partitions)
+        )
+
+    def as_row(self) -> Dict[str, object]:
         """The statistics as a flat dictionary (used by benchmark reporting)."""
         return {
             "lp_construction_ms": self.lp_construction_seconds * 1000.0,
@@ -102,6 +128,11 @@ class CompilationStatistics:
             "guaranteed_statements": float(self.num_guaranteed_statements),
             "mip_variables": float(self.num_mip_variables),
             "mip_constraints": float(self.num_mip_constraints),
+            "solver_status": self.solver_status,
+            "mip_nodes": self.mip_nodes,
+            "mip_gap": self.mip_gap if self.mip_gap is not None else "",
+            "partitions": float(self.num_partitions),
+            "dirty_partitions": float(self.dirty_partitions),
         }
 
 

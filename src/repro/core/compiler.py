@@ -6,17 +6,32 @@ paper: translating global policies into locally-enforceable ones
 bandwidth allocations (provisioning via the MIP for guaranteed traffic and
 sink trees or product-graph BFS for best-effort traffic), and generating
 low-level instructions for switches, middleboxes, and end hosts.
+
+Beyond the paper's one-shot pipeline, the compiler keeps a *session* of the
+last compile — the preprocessed statements, localized rates, logical
+topologies, and partitioned provisioning solutions — so that subsequent
+policy changes can take the :meth:`MerlinCompiler.recompile` fast path: a
+:class:`~repro.incremental.delta.PolicyDelta` is applied to an
+:class:`~repro.incremental.engine.IncrementalProvisioner` seeded from the
+session, and only the link-disjoint MIP components the delta touched are
+re-solved.  The result is identical to a from-scratch ``compile()`` of the
+updated policy (both paths solve the same canonical component models), at a
+small fraction of the latency — the Figure-10b re-provisioning benchmark
+measures the ratio.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..codegen.generator import CodeGenerator
-from ..errors import ProvisioningError
-from ..regex.ast import Dot, Regex, Star
+from ..errors import PolicyError, ProvisioningError
+from ..predicates.ast import TRUE, PTrue, pred_and, pred_not, pred_or
+from ..predicates.sat import is_satisfiable, overlaps
+from ..regex.ast import Dot, Regex, Star, any_path
 from ..topology.graph import Topology
 from ..units import Bandwidth
 from .allocation import (
@@ -25,18 +40,40 @@ from .allocation import (
     PathAssignment,
     RateAllocation,
 )
-from .ast import Policy
-from .localization import LocalRates, localize
+from .ast import Policy, Statement
+from .localization import LocalRates, localize, localized_formula
 from .logical import LogicalTopology, build_logical_topology, infer_endpoints
 from .parser import parse_policy
-from .preprocessor import preprocess
-from .provisioning import PathSelectionHeuristic, provision
+from .preprocessor import DEFAULT_STATEMENT_ID, preprocess
+from .provisioning import PathSelectionHeuristic, ProvisioningResult, provision
 from .sink_tree import compute_sink_trees
 
 
 def _is_unconstrained_path(path: Regex) -> bool:
     """Whether a path expression is the universal ``.*`` (no constraint)."""
     return isinstance(path, Star) and isinstance(path.operand, Dot)
+
+
+@dataclass
+class _CompilerSession:
+    """The live state carried from one compile to subsequent recompiles."""
+
+    statements: Dict[str, Statement]
+    local_rates: Dict[str, LocalRates]
+    endpoints: Dict[str, Tuple[Optional[str], Optional[str]]]
+    logical_cache: Dict[
+        Tuple[Regex, Optional[str], Optional[str]], LogicalTopology
+    ]
+    guaranteed_logical: Dict[str, LogicalTopology]
+    best_effort_paths: Dict[str, PathAssignment]
+    sink_trees: Dict
+    infeasible: List[str]
+    provisioning: ProvisioningResult
+    engine: Optional[object] = None  # IncrementalProvisioner, created lazily
+    #: Whether the session's "default" statement is the preprocessor's
+    #: generated catch-all (as opposed to a user-authored statement that
+    #: happens to carry that identifier).
+    generated_default: bool = False
 
 
 @dataclass
@@ -48,7 +85,9 @@ class MerlinCompiler:
     described in §3.2.  ``heuristic`` selects the path-selection objective,
     ``overlap`` selects how the pre-processor treats overlapping statement
     predicates, and ``generate_code`` can be disabled for pure provisioning
-    benchmarks.
+    benchmarks.  ``max_solver_workers`` > 1 lets both the full compile and
+    the incremental engine solve link-disjoint MIP components in a process
+    pool.
     """
 
     topology: Topology
@@ -59,16 +98,25 @@ class MerlinCompiler:
     generate_code: bool = True
     localization_weights: Optional[Mapping[str, float]] = None
     solver: Optional[object] = None
+    max_solver_workers: int = 0
+    _session: Optional[_CompilerSession] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def compile(self, policy: Union[str, Policy]) -> CompilationResult:
         """Compile a policy (source text or AST) into a :class:`CompilationResult`."""
         total_start = time.perf_counter()
+        # A failed compile must not leave the previous compile's session
+        # behind: recompile() against a policy the caller has since replaced
+        # would silently mix the two.
+        self._session = None
         if isinstance(policy, str):
             policy = parse_policy(policy, topology=self.topology)
 
-        preprocessed = preprocess(
+        preprocess_result = preprocess(
             policy, overlap=self.overlap, add_catch_all=self.add_catch_all
-        ).policy
+        )
+        preprocessed = preprocess_result.policy
         local_rates = localize(preprocessed, weights=self.localization_weights)
 
         endpoints: Dict[str, Tuple[Optional[str], Optional[str]]] = {}
@@ -96,21 +144,6 @@ class MerlinCompiler:
             Tuple[Regex, Optional[str], Optional[str]], "LogicalTopology"
         ] = {}
 
-        def logical_for(statement, source, destination):
-            key = (statement.path, source, destination)
-            cached = logical_cache.get(key)
-            if cached is None:
-                cached = build_logical_topology(
-                    statement,
-                    self.topology,
-                    self.placements,
-                    source=source,
-                    destination=destination,
-                )
-                logical_cache[key] = cached
-                return cached
-            return cached.rebadged(statement.identifier)
-
         # --- Guaranteed traffic: logical topologies + MIP (§3.2) -------------
         lp_construction_seconds = 0.0
         construction_start = time.perf_counter()
@@ -123,8 +156,8 @@ class MerlinCompiler:
                     "guarantee but its source/destination hosts cannot be "
                     "determined from its predicate or path expression"
                 )
-            logical_topologies[statement.identifier] = logical_for(
-                statement, source, destination
+            logical_topologies[statement.identifier] = self._logical_for(
+                logical_cache, statement, source, destination
             )
         lp_construction_seconds += time.perf_counter() - construction_start
 
@@ -136,6 +169,7 @@ class MerlinCompiler:
             self.placements,
             heuristic=self.heuristic,
             solver=self.solver,
+            max_workers=self.max_solver_workers,
         )
         lp_construction_seconds += provisioning.lp_construction_seconds
 
@@ -144,6 +178,7 @@ class MerlinCompiler:
 
         # --- Best-effort traffic: sink trees and product-graph BFS (§3.3) ----
         rateless_start = time.perf_counter()
+        best_effort_paths: Dict[str, PathAssignment] = {}
         needs_sink_trees = any(
             _is_unconstrained_path(statement.path) for statement in best_effort
         )
@@ -152,19 +187,13 @@ class MerlinCompiler:
             if _is_unconstrained_path(statement.path):
                 continue
             source, destination = endpoints[statement.identifier]
-            logical = logical_for(statement, source, destination)
-            found = logical.find_path()
-            if found is None:
+            logical = self._logical_for(logical_cache, statement, source, destination)
+            assignment = self._best_effort_assignment(statement, logical)
+            if assignment is None:
                 infeasible.append(statement.identifier)
                 continue
-            paths[statement.identifier] = PathAssignment(
-                statement_id=statement.identifier,
-                path=tuple(found),
-                function_placements=_best_effort_placements(
-                    statement.path, found, self.placements, self.topology
-                ),
-                guaranteed_rate=None,
-            )
+            best_effort_paths[statement.identifier] = assignment
+        paths.update(best_effort_paths)
         rateless_seconds = time.perf_counter() - rateless_start
 
         rates = {
@@ -198,6 +227,23 @@ class MerlinCompiler:
             num_mip_variables=provisioning.num_variables,
             num_mip_constraints=provisioning.num_constraints,
         )
+        statistics.record_provisioning(provisioning)
+
+        self._session = _CompilerSession(
+            statements={
+                statement.identifier: statement
+                for statement in preprocessed.statements
+            },
+            local_rates=dict(local_rates),
+            endpoints=endpoints,
+            logical_cache=logical_cache,
+            guaranteed_logical=logical_topologies,
+            best_effort_paths=best_effort_paths,
+            sink_trees=sink_trees,
+            infeasible=infeasible,
+            provisioning=provisioning,
+            generated_default=preprocess_result.added_default,
+        )
 
         result = CompilationResult(
             policy=preprocessed,
@@ -208,13 +254,591 @@ class MerlinCompiler:
             statistics=statistics,
             link_reservations=provisioning.link_reservations,
         )
-        result.attach_link_capacities(
-            {
-                tuple(sorted((link.source, link.target))): link.capacity
-                for link in self.topology.links()
-            }
-        )
+        result.attach_link_capacities(self._link_capacities())
         return result
+
+    # -- the incremental fast path ------------------------------------------------
+
+    def recompile(self, delta) -> CompilationResult:
+        """Apply a :class:`~repro.incremental.delta.PolicyDelta` incrementally.
+
+        Requires a prior :meth:`compile` (whose session seeds the engine);
+        re-solves only the link-disjoint MIP components the delta touches
+        and returns a full :class:`CompilationResult` for the updated
+        policy whose paths, rates, link reservations, and instructions are
+        identical to a from-scratch compile.  The result's ``policy.formula``
+        is the *localized* (per-statement) form reconstructed from the
+        session's rates: deltas describe statement-level rate changes, so
+        aggregate multi-identifier clauses of the originally compiled
+        formula are not preserved through recompiles.
+        Pre-processing is applied incrementally to keep that equivalence:
+        added statements pass the session's overlap discipline
+        (``"reject"`` checks them against the existing statements,
+        ``"priority"`` subtracts all existing predicates — appended
+        statements are lowest-priority; removals under ``"priority"`` are
+        refused because earlier-statement subtraction is baked into later
+        predicates), and the generated catch-all statement's remainder
+        predicate is recomputed whenever the statement population changes.
+        Raises :class:`ProvisioningError` if the delta makes provisioning
+        infeasible; the session is not transactional, so any failure after
+        mutation begins (an infeasible solve, a code-generation error)
+        invalidates it (``has_session`` becomes False) and the compiler
+        must be re-seeded with a full :meth:`compile`.  A delta rejected by
+        validation (unknown identifiers, overlap violations, unprovisionable
+        guarantees) leaves the session intact.
+        """
+        if self._session is None:
+            raise ProvisioningError(
+                "recompile() requires a prior compile(); no session is active"
+            )
+        if delta.remove and self.overlap == "priority":
+            raise ProvisioningError(
+                "overlap='priority' sessions cannot remove statements "
+                "incrementally: first-match-wins rewriting subtracted the "
+                "removed predicates from later statements; run a full "
+                "compile() of the updated policy instead"
+            )
+        total_start = time.perf_counter()
+        session = self._session
+        prepared_adds = self._validate_delta(session, delta)
+        engine = self._ensure_engine(session)
+
+        rateless_seconds = 0.0
+        try:
+            for identifier in delta.remove:
+                self._remove_statement(session, engine, identifier)
+            rateless_start = time.perf_counter()
+            for added in prepared_adds:
+                self._add_statement(session, engine, added)
+            for update in delta.update_rates:
+                self._update_rates(session, engine, update)
+            if delta.remove or delta.add:
+                self._refresh_catch_all(session)
+            self._refresh_sink_trees(session)
+            rateless_seconds += time.perf_counter() - rateless_start
+
+            provisioning = engine.resolve()
+            session.provisioning = provisioning
+
+            paths: Dict[str, PathAssignment] = dict(provisioning.paths)
+            paths.update(session.best_effort_paths)
+            rates = {
+                identifier: RateAllocation.from_local_rates(local)
+                for identifier, local in session.local_rates.items()
+            }
+            policy = Policy(
+                statements=tuple(session.statements.values()),
+                formula=localized_formula(session.local_rates),
+            )
+
+            codegen_seconds = 0.0
+            instructions = None
+            if self.generate_code:
+                codegen_start = time.perf_counter()
+                instructions = CodeGenerator(topology=self.topology).generate(
+                    policy,
+                    paths,
+                    rates,
+                    session.sink_trees,
+                    endpoints=session.endpoints,
+                    infeasible_statements=tuple(session.infeasible),
+                )
+                codegen_seconds = time.perf_counter() - codegen_start
+        except Exception:
+            # The delta was already applied to the session/live model when
+            # the failure surfaced (an infeasible solve, a code-generation
+            # error), so the session no longer matches any result a caller
+            # successfully received.  Drop it: the next recompile() fails
+            # loudly instead of silently provisioning the poisoned
+            # statement set, and callers that roll back on error (the
+            # negotiator) cannot diverge from a half-updated session.
+            self._session = None
+            raise
+
+        guaranteed = [
+            identifier
+            for identifier, local in session.local_rates.items()
+            if local.is_guaranteed
+        ]
+        statistics = CompilationStatistics(
+            lp_construction_seconds=provisioning.lp_construction_seconds,
+            lp_solve_seconds=provisioning.lp_solve_seconds,
+            rateless_seconds=rateless_seconds,
+            codegen_seconds=codegen_seconds,
+            total_seconds=time.perf_counter() - total_start,
+            num_statements=len(session.statements),
+            num_guaranteed_statements=len(guaranteed),
+            num_mip_variables=provisioning.num_variables,
+            num_mip_constraints=provisioning.num_constraints,
+        )
+        statistics.record_provisioning(provisioning)
+
+        result = CompilationResult(
+            policy=policy,
+            paths=paths,
+            rates=rates,
+            sink_trees=session.sink_trees,
+            instructions=instructions,
+            statistics=statistics,
+            link_reservations=provisioning.link_reservations,
+        )
+        result.attach_link_capacities(self._link_capacities())
+        return result
+
+    @property
+    def has_session(self) -> bool:
+        """Whether a compile session is active (recompile is available)."""
+        return self._session is not None
+
+    def session_statement(self, identifier: str) -> Optional[Statement]:
+        """The active session's current statement for ``identifier``.
+
+        Returns ``None`` when no session is active or the identifier is
+        unknown.  Delegated negotiators use this to rewrite their
+        scope-narrowed deltas against the global statement set before
+        re-provisioning.
+        """
+        if self._session is None:
+            return None
+        return self._session.statements.get(identifier)
+
+    def session_rates(self, identifier: str) -> Optional[LocalRates]:
+        """The active session's current localized rates for ``identifier``.
+
+        ``None`` when no session is active or the identifier is unknown.
+        The delegated-delta rewrite uses this to keep the global guarantee
+        and cap on statements whose rate clauses did not survive delegation
+        (a dropped ``min(a, b)`` clause must not demote the statement).
+        """
+        if self._session is None:
+            return None
+        return self._session.local_rates.get(identifier)
+
+    def prepare_incremental(self) -> None:
+        """Eagerly build the incremental engine for the active session.
+
+        ``recompile`` creates the engine lazily on first use; long-running
+        controllers call this once after :meth:`compile` so the one-time
+        splice of the compiled statements into the live model (and the
+        seeding of the component-solution cache) is paid at session setup
+        rather than inside the first delta's latency.
+        """
+        if self._session is None:
+            raise ProvisioningError(
+                "prepare_incremental() requires a prior compile()"
+            )
+        self._ensure_engine(self._session)
+
+    # -- session internals ----------------------------------------------------------
+
+    def _ensure_engine(self, session: _CompilerSession):
+        if session.engine is None:
+            from ..incremental.engine import IncrementalProvisioner
+
+            engine = IncrementalProvisioner(
+                self.topology,
+                self.placements,
+                heuristic=self.heuristic,
+                solver=self.solver,
+                max_workers=self.max_solver_workers,
+            )
+            for identifier, logical in session.guaranteed_logical.items():
+                local = session.local_rates[identifier]
+                engine.add_statement(
+                    session.statements[identifier],
+                    local.guarantee,
+                    cap=local.cap,
+                    logical=logical,
+                )
+            engine.prime(session.provisioning.partition_solutions)
+            session.engine = engine
+        return session.engine
+
+    def _remove_statement(self, session, engine, identifier: str) -> None:
+        if identifier not in session.statements:
+            raise ProvisioningError(
+                f"cannot remove unknown statement {identifier!r}"
+            )
+        if engine.has_statement(identifier):
+            engine.remove_statement(identifier)
+            session.guaranteed_logical.pop(identifier, None)
+        del session.statements[identifier]
+        del session.local_rates[identifier]
+        session.endpoints.pop(identifier, None)
+        session.best_effort_paths.pop(identifier, None)
+        if identifier in session.infeasible:
+            session.infeasible.remove(identifier)
+
+    def _add_statement(self, session, engine, added) -> None:
+        statement = added.statement
+        identifier = statement.identifier
+        if identifier in session.statements:
+            raise ProvisioningError(
+                f"statement {identifier!r} already exists; remove it first "
+                "(a changed statement appears in both remove and add)"
+            )
+        local = LocalRates(
+            identifier=identifier, guarantee=added.guarantee, cap=added.cap
+        )
+        session.statements[identifier] = statement
+        session.local_rates[identifier] = local
+        session.endpoints[identifier] = infer_endpoints(statement, self.topology)
+        if local.is_guaranteed:
+            self._enter_guaranteed(session, engine, statement, local)
+        else:
+            self._enter_best_effort(session, statement)
+
+    def _update_rates(self, session, engine, update) -> None:
+        identifier = update.identifier
+        if identifier not in session.statements:
+            raise ProvisioningError(
+                f"cannot update rates of unknown statement {identifier!r}"
+            )
+        statement = session.statements[identifier]
+        local = LocalRates(
+            identifier=identifier, guarantee=update.guarantee, cap=update.cap
+        )
+        was_guaranteed = engine.has_statement(identifier)
+        session.local_rates[identifier] = local
+        if local.is_guaranteed and was_guaranteed:
+            engine.update_rates(identifier, local.guarantee, cap=local.cap)
+        elif local.is_guaranteed and not was_guaranteed:
+            # Promoted from best-effort: enters the MIP.
+            self._enter_guaranteed(session, engine, statement, local)
+        elif not local.is_guaranteed and was_guaranteed:
+            # Demoted to best-effort: leaves the MIP.
+            engine.remove_statement(identifier)
+            session.guaranteed_logical.pop(identifier, None)
+            self._enter_best_effort(session, statement)
+
+    def _enter_guaranteed(self, session, engine, statement, local) -> None:
+        """Put a guarantee-bearing statement into the MIP.
+
+        Shared by adds and promotions; ``_validate_delta`` already proved
+        the statement provisionable (endpoints inferable, logical topology
+        non-empty), so the raise here only guards direct misuse.
+        """
+        identifier = statement.identifier
+        source, destination = session.endpoints[identifier]
+        if source is None or destination is None:
+            raise ProvisioningError(
+                f"statement {identifier!r} requests a bandwidth guarantee "
+                "but its source/destination hosts cannot be determined "
+                "from its predicate or path expression"
+            )
+        logical = self._logical_for(
+            session.logical_cache, statement, source, destination
+        )
+        session.guaranteed_logical[identifier] = logical
+        session.best_effort_paths.pop(identifier, None)
+        engine.add_statement(
+            statement, local.guarantee, cap=local.cap, logical=logical
+        )
+
+    def _enter_best_effort(self, session, statement) -> None:
+        """Record a best-effort statement's path assignment, if any.
+
+        Unconstrained paths are served by sink trees (refreshed centrally
+        after the delta applies); constrained ones take the shortest path
+        through their logical topology or are marked infeasible.
+        """
+        if _is_unconstrained_path(statement.path):
+            return
+        identifier = statement.identifier
+        source, destination = session.endpoints[identifier]
+        logical = self._logical_for(
+            session.logical_cache, statement, source, destination
+        )
+        assignment = self._best_effort_assignment(statement, logical)
+        if assignment is None:
+            session.infeasible.append(identifier)
+        else:
+            session.best_effort_paths[identifier] = assignment
+
+    def _real_statements(self, session) -> List[Statement]:
+        """The session's statements minus the preprocessor's *generated*
+        catch-all (a user-authored statement named "default" is real)."""
+        return [
+            statement
+            for identifier, statement in session.statements.items()
+            if not (session.generated_default and identifier == DEFAULT_STATEMENT_ID)
+        ]
+
+    def _validate_delta(self, session, delta) -> List:
+        """Validate a whole delta before any session mutation.
+
+        Every check that can reject a delta — unknown removals/updates,
+        identifier clashes, the overlap discipline on added statements
+        (including add-vs-add overlap within the same delta), and
+        provisionability of guarantee-bearing adds/promotions (inferable
+        endpoints, non-empty logical topology) — runs here, so a rejected
+        delta is side-effect-free.  Returns the added statements with the
+        overlap preprocessing (priority narrowing) applied, in delta order.
+        Only a provisioning infeasibility discovered later, at solve time,
+        can still invalidate the session.
+        """
+        removed = set()
+        for identifier in delta.remove:
+            if identifier not in session.statements or (
+                session.generated_default and identifier == DEFAULT_STATEMENT_ID
+            ):
+                # The generated catch-all is not a user statement: removing
+                # it would silently no-op (the refresh recreates it), so it
+                # is as unknown as any other non-real identifier.
+                raise ProvisioningError(
+                    f"cannot remove unknown statement {identifier!r}"
+                )
+            if identifier in removed:
+                raise ProvisioningError(
+                    f"statement {identifier!r} is removed twice in one delta"
+                )
+            removed.add(identifier)
+        existing = [
+            statement
+            for statement in self._real_statements(session)
+            if statement.identifier not in removed
+        ]
+        existing_ids = {statement.identifier for statement in existing}
+        prepared: List = []
+        for added in delta.add:
+            identifier = added.statement.identifier
+            if identifier in existing_ids or (
+                session.generated_default and identifier == DEFAULT_STATEMENT_ID
+            ):
+                raise ProvisioningError(
+                    f"statement {identifier!r} already exists; remove it first "
+                    "(a changed statement appears in both remove and add)"
+                )
+            preprocessed = self._preprocess_added(existing, added)
+            prepared.append(preprocessed)
+            existing.append(preprocessed.statement)
+            existing_ids.add(identifier)
+        if (
+            self.add_catch_all
+            and DEFAULT_STATEMENT_ID in existing_ids
+            and not any(isinstance(s.predicate, PTrue) for s in existing)
+        ):
+            # The post-delta statement set needs a generated catch-all but a
+            # user statement occupies its identifier — exactly the case
+            # preprocess() rejects; catch it before mutating the session.
+            raise PolicyError(
+                f"cannot add catch-all: identifier {DEFAULT_STATEMENT_ID!r} "
+                "already used"
+            )
+        prepared_by_id = {entry.statement.identifier: entry for entry in prepared}
+        for added in prepared:
+            local = LocalRates(
+                identifier=added.statement.identifier,
+                guarantee=added.guarantee,
+                cap=added.cap,
+            )
+            if local.is_guaranteed:
+                self._check_provisionable(session, added.statement)
+        for update in delta.update_rates:
+            if update.identifier not in existing_ids:
+                raise ProvisioningError(
+                    f"cannot update rates of unknown statement {update.identifier!r}"
+                )
+            local = LocalRates(
+                identifier=update.identifier,
+                guarantee=update.guarantee,
+                cap=update.cap,
+            )
+            if local.is_guaranteed:
+                entry = prepared_by_id.get(update.identifier)
+                statement = (
+                    entry.statement
+                    if entry is not None
+                    else session.statements[update.identifier]
+                )
+                self._check_provisionable(session, statement)
+        return prepared
+
+    def _check_provisionable(self, session, statement: Statement) -> None:
+        """Reject a guarantee-bearing statement that can never enter the MIP.
+
+        Both conditions — inferable endpoints and a non-empty pruned logical
+        topology — are knowable from the statement and topology alone, so
+        they are checked during delta validation rather than surfacing
+        mid-apply and destroying the session.  The logical build is memoized
+        in the session cache, so the apply phase pays nothing extra.
+        """
+        source, destination = infer_endpoints(statement, self.topology)
+        if source is None or destination is None:
+            raise ProvisioningError(
+                f"statement {statement.identifier!r} requests a bandwidth "
+                "guarantee but its source/destination hosts cannot be "
+                "determined from its predicate or path expression"
+            )
+        logical = self._logical_for(
+            session.logical_cache, statement, source, destination
+        )
+        if logical.num_edges() == 0:
+            raise ProvisioningError(
+                f"statement {statement.identifier!r} has no feasible path "
+                "satisfying its path expression"
+            )
+
+    def _preprocess_added(self, existing: List[Statement], added):
+        """Apply the session's overlap discipline to an added statement.
+
+        Mirrors what :func:`~repro.core.preprocessor.preprocess` would do to
+        the statement had it been part of a from-scratch compile of
+        ``existing`` + the addition: reject mode checks it for overlap
+        against the existing statements; priority mode narrows it by
+        subtracting every existing predicate (an appended statement has the
+        lowest priority) and rejects it when completely shadowed; trust mode
+        passes it through unchanged.
+        """
+        if self.overlap == "trust":
+            return added
+        statement = added.statement
+        if self.overlap == "reject":
+            conflicts = [
+                other.identifier
+                for other in existing
+                if overlaps(statement.predicate, other.predicate)
+            ]
+            if conflicts:
+                raise PolicyError(
+                    f"statement {statement.identifier!r} overlaps existing "
+                    f"statements: {', '.join(conflicts)}; use "
+                    "overlap='priority' or recompile from scratch"
+                )
+            return added
+        # overlap == "priority": first-match-wins against everything existing.
+        if not existing:
+            return added
+        narrowed = pred_and(
+            statement.predicate,
+            pred_not(pred_or(*[other.predicate for other in existing])),
+        )
+        if not is_satisfiable(narrowed):
+            raise PolicyError(
+                f"statement {statement.identifier!r} is completely shadowed "
+                "by existing statements"
+            )
+        if narrowed is statement.predicate:
+            return added
+        return dataclasses.replace(
+            added,
+            statement=Statement(
+                identifier=statement.identifier,
+                predicate=narrowed,
+                path=statement.path,
+            ),
+        )
+
+    def _refresh_catch_all(self, session) -> None:
+        """Recompute the generated catch-all after a membership change.
+
+        Keeps the session equivalent to a from-scratch preprocess of the
+        current statements: the catch-all's remainder predicate is the
+        negation of everything matched, it disappears when some statement
+        already matches all packets, and it (re)appears when coverage
+        becomes partial again.  A user-authored statement that happens to be
+        named "default" is never touched (and, exactly like preprocess,
+        blocks the catch-all from being generated).
+        """
+        if not self.add_catch_all:
+            return
+        others = self._real_statements(session)
+        if session.generated_default:
+            session.statements.pop(DEFAULT_STATEMENT_ID, None)
+            session.local_rates.pop(DEFAULT_STATEMENT_ID, None)
+            session.endpoints.pop(DEFAULT_STATEMENT_ID, None)
+            session.generated_default = False
+        if any(isinstance(statement.predicate, PTrue) for statement in others):
+            return
+        if any(
+            statement.identifier == DEFAULT_STATEMENT_ID for statement in others
+        ):
+            raise PolicyError(
+                f"cannot add catch-all: identifier {DEFAULT_STATEMENT_ID!r} "
+                "already used"
+            )
+        remainder = (
+            pred_and(*[pred_not(statement.predicate) for statement in others])
+            if others
+            else TRUE
+        )
+        catch_all = Statement(
+            identifier=DEFAULT_STATEMENT_ID, predicate=remainder, path=any_path()
+        )
+        session.statements[DEFAULT_STATEMENT_ID] = catch_all
+        session.local_rates[DEFAULT_STATEMENT_ID] = LocalRates(
+            identifier=DEFAULT_STATEMENT_ID
+        )
+        session.endpoints[DEFAULT_STATEMENT_ID] = infer_endpoints(
+            catch_all, self.topology
+        )
+        session.generated_default = True
+
+    def _refresh_sink_trees(self, session) -> None:
+        """Keep ``session.sink_trees`` consistent with the statement set.
+
+        Mirrors :meth:`compile`: sink trees exist exactly while some
+        best-effort statement (the generated catch-all included) has an
+        unconstrained path.  They are dropped when the last such statement
+        disappears, so codegen stops emitting default-forwarding
+        instructions a from-scratch compile would not produce.
+        """
+        needed = any(
+            not session.local_rates[identifier].is_guaranteed
+            and _is_unconstrained_path(statement.path)
+            for identifier, statement in session.statements.items()
+        )
+        if not needed:
+            session.sink_trees = {}
+        elif not session.sink_trees:
+            session.sink_trees = compute_sink_trees(self.topology)
+
+    # -- shared helpers --------------------------------------------------------------
+
+    # Distinct (path, source, destination) product graphs kept per session;
+    # bounded (LRU) so a long-running controller streaming deltas with
+    # ever-new path expressions does not grow resident memory monotonically.
+    _LOGICAL_CACHE_LIMIT = 1024
+
+    def _logical_for(self, cache, statement, source, destination):
+        key = (statement.path, source, destination)
+        cached = cache.pop(key, None)
+        if cached is None:
+            fresh = True
+            cached = build_logical_topology(
+                statement,
+                self.topology,
+                self.placements,
+                source=source,
+                destination=destination,
+            )
+        else:
+            fresh = False
+        cache[key] = cached  # (re)insert as most recently used
+        while len(cache) > self._LOGICAL_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        return cached if fresh else cached.rebadged(statement.identifier)
+
+    def _best_effort_assignment(
+        self, statement: Statement, logical: LogicalTopology
+    ) -> Optional[PathAssignment]:
+        found = logical.find_path()
+        if found is None:
+            return None
+        return PathAssignment(
+            statement_id=statement.identifier,
+            path=tuple(found),
+            function_placements=_best_effort_placements(
+                statement.path, found, self.placements, self.topology
+            ),
+            guaranteed_rate=None,
+        )
+
+    def _link_capacities(self) -> Dict[Tuple[str, str], Bandwidth]:
+        return {
+            tuple(sorted((link.source, link.target))): link.capacity
+            for link in self.topology.links()
+        }
 
 
 def _best_effort_placements(

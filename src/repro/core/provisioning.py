@@ -30,6 +30,22 @@ accumulation API rather than the copying ``+`` operator.
 :class:`ProvisioningResult` reports construction and solve time separately
 (``lp_construction_seconds`` / ``lp_solve_seconds``) so the Figure 8 scaling
 benchmark can attribute compile time to model building vs the MIP solver.
+
+Partitioned solving
+-------------------
+Statements are coupled only through the per-link reservation rows, so the
+MIP decomposes exactly along connected components of the "shares a physical
+link" relation.  :func:`provision` therefore partitions the statements by
+their logical topologies' link footprints (union-find, in
+:mod:`repro.incremental.partition`), builds one sub-model per component with
+:func:`build_model_for_links`, solves the components independently, and
+merges the reservations — the same decomposition the incremental
+re-provisioning engine (:mod:`repro.incremental.engine`) re-solves
+selectively at run time.  Within a component the min-max objectives are
+unchanged; across components the merged solution minimises every
+component's bottleneck (a per-component lexicographic strengthening of the
+global min-max criterion).  Pass ``partition=False`` to solve the single
+monolithic model instead.
 """
 
 from __future__ import annotations
@@ -40,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ProvisioningError
+from ..lp.constraint import Constraint
 from ..lp.expr import LinExpr, Variable
 from ..lp.model import Model, Objective
 from ..regex.ast import Regex, Symbol
@@ -65,7 +82,16 @@ class PathSelectionHeuristic(enum.Enum):
 
 @dataclass
 class ProvisioningResult:
-    """The outcome of the guaranteed-traffic provisioning stage."""
+    """The outcome of the guaranteed-traffic provisioning stage.
+
+    ``solve_status`` is the aggregated solver outcome (``"optimal"`` unless
+    some partition stopped on a limit with an unproven incumbent, in which
+    case it is ``"feasible"``), and ``solve_statistics`` carries aggregated
+    MIP diagnostics (``nodes``, ``best_bound``, ``gap``, partition counts)
+    for the benchmark tables.  ``partition_solutions`` retains the
+    per-component solutions so an incremental engine can be seeded from a
+    full compile without re-solving anything.
+    """
 
     paths: Dict[str, PathAssignment]
     link_reservations: Dict[Tuple[str, str], Bandwidth]
@@ -75,6 +101,12 @@ class ProvisioningResult:
     lp_solve_seconds: float
     num_variables: int
     num_constraints: int
+    solve_status: str = "optimal"
+    solve_statistics: Dict[str, float] = field(default_factory=dict)
+    num_partitions: int = 0
+    partition_solutions: List["PartitionSolution"] = field(
+        default_factory=list, repr=False
+    )
 
 
 def provision(
@@ -85,6 +117,8 @@ def provision(
     placements: Mapping[str, Iterable[str]],
     heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
     solver=None,
+    partition: bool = True,
+    max_workers: int = 0,
 ) -> ProvisioningResult:
     """Select paths and reserve bandwidth for the guaranteed statements.
 
@@ -93,6 +127,11 @@ def provision(
     :class:`ProvisioningError` when no assignment satisfies the constraints
     (for example, when the requested guarantees exceed every allowed path's
     capacity).
+
+    With ``partition=True`` (the default) the MIP is decomposed into
+    link-disjoint components solved independently (``max_workers`` > 1
+    solves them in a process pool); ``partition=False`` keeps the single
+    monolithic model.
     """
     if not statements:
         return ProvisioningResult(
@@ -104,6 +143,20 @@ def provision(
             lp_solve_seconds=0.0,
             num_variables=0,
             num_constraints=0,
+        )
+    if partition:
+        # Imported lazily: repro.incremental builds on this module.
+        from ..incremental.solve import provision_partitioned
+
+        return provision_partitioned(
+            statements,
+            logical_topologies,
+            rates,
+            topology,
+            placements,
+            heuristic=heuristic,
+            solver=solver,
+            max_workers=max_workers,
         )
 
     construction_start = time.perf_counter()
@@ -165,18 +218,30 @@ def provision(
         lp_solve_seconds=lp_solve_seconds,
         num_variables=model.num_variables(),
         num_constraints=model.num_constraints(),
+        solve_status=result.status.value,
+        solve_statistics=dict(result.statistics),
+        num_partitions=1,
     )
 
 
 @dataclass
 class ProvisioningModel:
-    """The assembled MIP plus the variable indexes needed to read a solution."""
+    """The assembled MIP plus the variable indexes needed to read a solution.
+
+    ``reserve_rows`` keeps the Equation-2 constraint handle of every link so
+    incremental callers can splice statement terms in and out of the rows,
+    and ``logical_topologies`` records each member statement's product graph
+    so a solution can be decoded into location paths without re-supplying
+    the construction inputs.
+    """
 
     model: Model
     edge_variables: Dict[str, Dict[int, Variable]]
     reservation_fraction: Dict[Tuple[str, str], Variable]
     r_max: Variable
     big_r_max: Variable
+    reserve_rows: Dict[Tuple[str, str], "Constraint"] = field(default_factory=dict)
+    logical_topologies: Dict[str, LogicalTopology] = field(default_factory=dict)
 
 
 def build_provisioning_model(
@@ -184,6 +249,76 @@ def build_provisioning_model(
     logical_topologies: Mapping[str, LogicalTopology],
     rates: Mapping[str, LocalRates],
     topology: Topology,
+    heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
+) -> ProvisioningModel:
+    """Assemble the full provisioning MIP over every physical link.
+
+    This is the monolithic entry point: reservation rows are emitted for the
+    whole topology in ``topology.links()`` order.  The partitioned pipeline
+    calls :func:`build_model_for_links` directly with each component's link
+    subset instead.
+    """
+    links = [
+        (
+            tuple(sorted((link.source, link.target))),
+            link.capacity.bps_value / _MBPS,
+        )
+        for link in topology.links()
+    ]
+    return build_model_for_links(
+        statements, logical_topologies, rates, links, heuristic=heuristic
+    )
+
+
+def splice_statement_rows(
+    model: Model, statement: Statement, logical: LogicalTopology
+) -> Tuple[Dict[int, Variable], List[Constraint], Dict[Tuple[str, str], List[Variable]]]:
+    """Create one statement's binary edge variables and Equation-1 flow rows.
+
+    The single per-statement construction shared by the batch builder
+    (:func:`build_model_for_links`) and the incremental engine's live-model
+    splice: variable naming (``x__{id}__{index}``), flow-row naming
+    (``flow__{id}__{vertex}``), and emission order must stay identical for
+    the splice-equivalence guarantee (and cached-component reuse) to hold.
+    Returns ``(edge variables by index, flow-row constraints, variables
+    bucketed by the undirected physical link they map onto)`` — the caller
+    turns the link buckets into Equation-2 reservation terms.
+    """
+    identifier = statement.identifier
+    variables: Dict[int, Variable] = {}
+    outgoing: Dict[object, LinExpr] = {}
+    touched: Dict[Tuple[str, str], List[Variable]] = {}
+    for index, edge in enumerate(logical.edges):
+        variable = model.add_binary(f"x__{identifier}__{index}")
+        variables[index] = variable
+        outgoing.setdefault(edge.source, LinExpr()).add_term(variable, 1.0)
+        outgoing.setdefault(edge.target, LinExpr()).add_term(variable, -1.0)
+        if edge.physical_link is not None:
+            touched.setdefault(tuple(sorted(edge.physical_link)), []).append(
+                variable
+            )
+    flow_rows: List[Constraint] = []
+    for vertex in logical.vertices:
+        if vertex == SOURCE:
+            balance = 1.0
+        elif vertex == SINK:
+            balance = -1.0
+        else:
+            balance = 0.0
+        flow_rows.append(
+            model.add_constraint(
+                outgoing.get(vertex, LinExpr()).equals(balance),
+                name=f"flow__{identifier}__{vertex[0]}_{vertex[1]}",
+            )
+        )
+    return variables, flow_rows, touched
+
+
+def build_model_for_links(
+    statements: Sequence[Statement],
+    logical_topologies: Mapping[str, LogicalTopology],
+    rates: Mapping[str, LocalRates],
+    links: Sequence[Tuple[Tuple[str, str], float]],
     heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
 ) -> ProvisioningModel:
     """Assemble the provisioning MIP with a one-pass indexed construction.
@@ -195,6 +330,14 @@ def build_provisioning_model(
     reservation row of that link).  Emitting constraints from the buckets
     makes construction O(S·E + L) in the number of statements S, logical
     edges per statement E, and physical links L.
+
+    ``links`` is the sequence of ``(link key, capacity in Mbps)`` pairs to
+    emit reservation rows for — the whole topology for a monolithic build,
+    or one partition's footprint for a component sub-model.  The model (and
+    hence the solver's input) is a deterministic function of the statement
+    order and the link order, which is what lets the incremental engine
+    reuse cached component solutions: rebuilding an unchanged component in
+    canonical order yields a byte-identical model.
     """
     model = Model(name="merlin-provisioning")
     edge_variables: Dict[str, Dict[int, Variable]] = {}
@@ -213,39 +356,73 @@ def build_provisioning_model(
         guarantee_mbps = (
             guarantee.bps_value / _MBPS if guarantee is not None else None
         )
-        variables: Dict[int, Variable] = {}
-        outgoing: Dict[object, LinExpr] = {}
-        for index, edge in enumerate(logical.edges):
-            variable = model.add_binary(f"x__{statement.identifier}__{index}")
-            variables[index] = variable
-            outgoing.setdefault(edge.source, LinExpr()).add_term(variable, 1.0)
-            outgoing.setdefault(edge.target, LinExpr()).add_term(variable, -1.0)
-            if guarantee_mbps is not None and edge.physical_link is not None:
-                link_key = tuple(sorted(edge.physical_link))
-                link_terms.setdefault(link_key, []).append(
-                    (variable, guarantee_mbps)
-                )
+        variables, _, touched = splice_statement_rows(model, statement, logical)
         edge_variables[statement.identifier] = variables
-        for vertex in logical.vertices:
-            if vertex == SOURCE:
-                balance = 1.0
-            elif vertex == SINK:
-                balance = -1.0
-            else:
-                balance = 0.0
-            model.add_constraint(
-                outgoing.get(vertex, LinExpr()).equals(balance),
-                name=f"flow__{statement.identifier}__{vertex[0]}_{vertex[1]}",
-            )
+        if guarantee_mbps is not None:
+            for link_key, link_variables in touched.items():
+                link_terms.setdefault(link_key, []).extend(
+                    (variable, guarantee_mbps) for variable in link_variables
+                )
 
     # Link reservation variables and Equations 2-5.
+    r_max, big_r_max, reservation_fraction, reserve_rows, max_capacity_mbps = (
+        emit_link_rows(model, links, link_terms)
+    )
+
+    set_provisioning_objective(
+        model,
+        statements,
+        logical_topologies,
+        rates,
+        edge_variables,
+        r_max,
+        big_r_max,
+        heuristic,
+        max_capacity_mbps,
+    )
+
+    return ProvisioningModel(
+        model=model,
+        edge_variables=edge_variables,
+        reservation_fraction=reservation_fraction,
+        r_max=r_max,
+        big_r_max=big_r_max,
+        reserve_rows=reserve_rows,
+        logical_topologies={
+            statement.identifier: logical_topologies[statement.identifier]
+            for statement in statements
+        },
+    )
+
+
+def emit_link_rows(
+    model: Model,
+    links: Sequence[Tuple[Tuple[str, str], float]],
+    link_terms: Mapping[Tuple[str, str], Sequence[Tuple[Variable, float]]],
+) -> Tuple[
+    Variable,
+    Variable,
+    Dict[Tuple[str, str], Variable],
+    Dict[Tuple[str, str], Constraint],
+    float,
+]:
+    """Create ``r_max`` / ``R_max`` and every link's Equation 2-4 rows.
+
+    ``link_terms`` maps a link key to its ``(edge variable, guarantee Mbps)``
+    pairs — the indexed construction's per-link buckets (empty for the
+    incremental engine's initially statement-free live model; its splice
+    operations grow the returned rows in place afterwards).  Returns
+    ``(r_max, R_max, reservation fractions, reservation row handles,
+    largest link capacity in Mbps)``.  Both the one-shot build and the live
+    model emit their rows through this single function, so the two can
+    never drift apart in naming or shape.
+    """
     reservation_fraction: Dict[Tuple[str, str], Variable] = {}
+    reserve_rows: Dict[Tuple[str, str], Constraint] = {}
     r_max = model.add_continuous("r_max", lower=0.0, upper=1.0)
     big_r_max = model.add_continuous("R_max", lower=0.0)
     max_capacity_mbps = 0.0
-    for link in topology.links():
-        key = tuple(sorted((link.source, link.target)))
-        capacity_mbps = link.capacity.bps_value / _MBPS
+    for key, capacity_mbps in links:
         max_capacity_mbps = max(max_capacity_mbps, capacity_mbps)
         r_uv = model.add_continuous(f"r__{key[0]}__{key[1]}", lower=0.0, upper=1.0)
         reservation_fraction[key] = r_uv
@@ -255,7 +432,7 @@ def build_provisioning_model(
             (variable, -guarantee_mbps)
             for variable, guarantee_mbps in link_terms.get(key, ())
         ).add_term(r_uv, capacity_mbps)
-        model.add_constraint(
+        reserve_rows[key] = model.add_constraint(
             reserve.equals(0.0), name=f"reserve__{key[0]}__{key[1]}"
         )
         # Equation 3: r_max >= r_uv.
@@ -266,8 +443,27 @@ def build_provisioning_model(
             name=f"Rmax__{key[0]}__{key[1]}",
         )
     # Equation 5 is expressed through the [0, 1] bound on r_max and r_uv.
+    return r_max, big_r_max, reservation_fraction, reserve_rows, max_capacity_mbps
 
-    # Objective.
+
+def set_provisioning_objective(
+    model: Model,
+    statements: Sequence[Statement],
+    logical_topologies: Mapping[str, LogicalTopology],
+    rates: Mapping[str, LocalRates],
+    edge_variables: Mapping[str, Mapping[int, Variable]],
+    r_max: Variable,
+    big_r_max: Variable,
+    heuristic: PathSelectionHeuristic,
+    max_capacity_mbps: float,
+) -> None:
+    """(Re)set the path-selection objective on a provisioning model.
+
+    Shared between the one-shot build and the incremental engine's live
+    model, whose tiebreaker magnitudes must be refreshed after deltas (both
+    the per-edge epsilon and the guarantee quantum depend on the statement
+    population).
+    """
     if heuristic is PathSelectionHeuristic.WEIGHTED_SHORTEST_PATH:
         objective = LinExpr()
         for statement in statements:
@@ -300,14 +496,6 @@ def build_provisioning_model(
         model.minimize(tiebreaker.add_term(big_r_max, 1.0))
     else:  # pragma: no cover - the enum is exhaustive
         raise ProvisioningError(f"unknown heuristic {heuristic!r}")
-
-    return ProvisioningModel(
-        model=model,
-        edge_variables=edge_variables,
-        reservation_fraction=reservation_fraction,
-        r_max=r_max,
-        big_r_max=big_r_max,
-    )
 
 
 def _guarantee_quantum_mbps(

@@ -16,6 +16,8 @@ and returns plain data (rows / series) that the benchmark harness under
 * :mod:`repro.experiments.verification` — Figure 9 (negotiator verification
   scaling).
 * :mod:`repro.experiments.adaptation` — Figure 10 (AIMD / MMFS adaptation).
+* :mod:`repro.experiments.reprovisioning` — Figure 10b' (incremental
+  re-provisioning latency vs full recompiles on pod-tenant fat trees).
 """
 
 from .policy_builders import (

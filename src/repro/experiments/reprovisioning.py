@@ -1,0 +1,285 @@
+"""Figure 10 (b') — incremental re-provisioning latency vs full recompiles.
+
+The paper's adaptation experiment (Figure 10) shows that bandwidth
+re-allocation needs no recompilation.  This companion experiment measures
+the remaining case: adaptations that *do* change paths.  A fat tree hosts
+one tenant per pod, each with bandwidth-guaranteed traffic constrained to
+its own pod (the pod-local path expressions make the tenants' MIPs
+link-disjoint).  A delta of ``d`` statements — new guaranteed traffic in
+``d`` distinct pods — is then provisioned two ways:
+
+* **full**: a from-scratch ``MerlinCompiler.compile()`` of the extended
+  policy (what the seed code base had to do), and
+* **incremental**: ``MerlinCompiler.recompile(delta)`` — splice the new
+  statements into the live provisioning model and re-solve only the ``d``
+  dirty pod components, re-using the other pods' cached solutions.
+
+Both produce identical paths and reservations (asserted per row); the
+interesting output is the latency ratio as a function of delta size.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.ast import (
+    BandwidthTerm,
+    FMin,
+    Policy,
+    Statement,
+    formula_and,
+    formula_clauses,
+)
+from ..core.compiler import MerlinCompiler
+from ..incremental.delta import DeltaStatement, PolicyDelta
+from ..predicates.ast import FieldTest, pred_and
+from ..regex.ast import Regex, Symbol, star, union
+from ..topology.generators import fat_tree
+from ..topology.graph import Topology
+from ..units import Bandwidth
+
+
+@dataclass
+class PodTenantScenario:
+    """A fat tree with one pod-local tenant policy per pod."""
+
+    topology: Topology
+    policy: Policy
+    pods: List[Dict[str, List[str]]]
+    guarantee: Bandwidth
+
+
+@dataclass
+class ReprovisionRow:
+    """One row of the incremental-vs-full latency table."""
+
+    arity: int
+    statements: int
+    partitions: int
+    delta_size: int
+    dirty_partitions: int
+    full_ms: float
+    incremental_ms: float
+    speedup: float
+    identical: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "arity": self.arity,
+            "statements": self.statements,
+            "partitions": self.partitions,
+            "delta_size": self.delta_size,
+            "dirty_partitions": self.dirty_partitions,
+            "full_ms": self.full_ms,
+            "incremental_ms": self.incremental_ms,
+            "speedup": self.speedup,
+            "identical": self.identical,
+        }
+
+
+def _fat_tree_pods(topology: Topology, arity: int) -> List[Dict[str, List[str]]]:
+    """Each pod's aggregation switches, edge switches, and hosts, by name."""
+    pods = []
+    for pod in range(arity):
+        edges = sorted(
+            name for name in topology.switch_names() if name.startswith(f"e{pod}_")
+        )
+        aggregations = sorted(
+            name for name in topology.switch_names() if name.startswith(f"a{pod}_")
+        )
+        hosts = sorted(
+            (host for edge in edges for host in topology.hosts_on_switch(edge)),
+            key=lambda name: int(name[1:]),
+        )
+        pods.append({"aggregation": aggregations, "edge": edges, "hosts": hosts})
+    return pods
+
+
+def _pod_path(pod: Dict[str, List[str]], source: str, destination: str) -> Regex:
+    """``(src|dst|pod edge switches|pod aggregation switches)*`` — traffic may
+    roam its own pod but can never leave it (no core switches, no other
+    pods), which is what keeps the tenants' MIP components link-disjoint."""
+    locations = sorted({source, destination, *pod["edge"], *pod["aggregation"]})
+    return star(union(*[Symbol(location) for location in locations]))
+
+
+def _pod_statement(
+    topology: Topology,
+    pod: Dict[str, List[str]],
+    identifier: str,
+    source: str,
+    destination: str,
+    port: int,
+) -> Statement:
+    predicate = pred_and(
+        FieldTest("eth.src", topology.node(source).mac),
+        pred_and(
+            FieldTest("eth.dst", topology.node(destination).mac),
+            FieldTest("tcp.dst", port),
+        ),
+    )
+    return Statement(identifier, predicate, _pod_path(pod, source, destination))
+
+
+def pod_tenant_scenario(
+    arity: int = 8,
+    pairs_per_pod: int = 2,
+    guarantee: Bandwidth = Bandwidth.mbps(50),
+) -> PodTenantScenario:
+    """One tenant per pod, ``pairs_per_pod`` guaranteed host pairs each."""
+    topology = fat_tree(arity)
+    pods = _fat_tree_pods(topology, arity)
+    statements: List[Statement] = []
+    clauses = []
+    for pod_index, pod in enumerate(pods):
+        hosts = pod["hosts"]
+        for pair in range(pairs_per_pod):
+            source = hosts[(2 * pair) % len(hosts)]
+            destination = hosts[(2 * pair + 1) % len(hosts)]
+            identifier = f"p{pod_index}s{pair}"
+            statements.append(
+                _pod_statement(
+                    topology, pod, identifier, source, destination, 8000 + pair
+                )
+            )
+            clauses.append(FMin(BandwidthTerm(identifiers=(identifier,)), guarantee))
+    policy = Policy(statements=tuple(statements), formula=formula_and(*clauses))
+    return PodTenantScenario(
+        topology=topology, policy=policy, pods=pods, guarantee=guarantee
+    )
+
+
+def _delta_statements(
+    scenario: PodTenantScenario, delta_size: int, generation: int
+) -> List[Statement]:
+    """``delta_size`` new guaranteed statements, one per distinct pod."""
+    statements = []
+    for index in range(delta_size):
+        pod_index = index % len(scenario.pods)
+        pod = scenario.pods[pod_index]
+        hosts = pod["hosts"]
+        source = hosts[-1]
+        destination = hosts[-2]
+        identifier = f"g{generation}d{index}"
+        statements.append(
+            _pod_statement(
+                scenario.topology, pod, identifier, source, destination,
+                9000 + generation * 64 + index,
+            )
+        )
+    return statements
+
+
+def _extended_policy(
+    scenario: PodTenantScenario, additions: Sequence[Statement]
+) -> Policy:
+    clauses = list(formula_clauses(scenario.policy.formula))
+    clauses.extend(
+        FMin(BandwidthTerm(identifiers=(statement.identifier,)), scenario.guarantee)
+        for statement in additions
+    )
+    return Policy(
+        statements=scenario.policy.statements + tuple(additions),
+        formula=formula_and(*clauses),
+    )
+
+
+def _same_allocations(left, right) -> bool:
+    if {k: p.path for k, p in left.paths.items()} != {
+        k: p.path for k, p in right.paths.items()
+    }:
+        return False
+    reservations_left = {k: v.bps_value for k, v in left.link_reservations.items()}
+    reservations_right = {k: v.bps_value for k, v in right.link_reservations.items()}
+    if set(reservations_left) != set(reservations_right):
+        return False
+    return all(
+        abs(reservations_left[key] - reservations_right[key]) <= 1e-6
+        for key in reservations_left
+    )
+
+
+def _compiler(topology: Topology) -> MerlinCompiler:
+    return MerlinCompiler(
+        topology=topology,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+    )
+
+
+def measure_reprovisioning(
+    arity: int = 8,
+    pairs_per_pod: int = 3,
+    delta_sizes: Sequence[int] = (1, 2, 4),
+    guarantee: Bandwidth = Bandwidth.mbps(50),
+    repeats: int = 3,
+) -> List[ReprovisionRow]:
+    """The Figure-10b' table: delta size vs incremental and full latency.
+
+    For each delta size ``d`` the *same* extended policy is provisioned both
+    ways (``repeats`` times each; the row records each side's best time);
+    the incremental path reverts its delta between repeats — also
+    incrementally — so every measurement starts from the identical base
+    session.  The engine is prepared eagerly (``prepare_incremental``), as
+    a long-running controller would, so delta latencies do not include the
+    one-time session setup.
+    """
+    scenario = pod_tenant_scenario(
+        arity=arity, pairs_per_pod=pairs_per_pod, guarantee=guarantee
+    )
+    incremental_compiler = _compiler(scenario.topology)
+    base = incremental_compiler.compile(scenario.policy)
+    incremental_compiler.prepare_incremental()
+
+    rows: List[ReprovisionRow] = []
+    for generation, delta_size in enumerate(delta_sizes):
+        additions = _delta_statements(scenario, delta_size, generation)
+        delta = PolicyDelta(
+            add=tuple(
+                DeltaStatement(statement, guarantee=scenario.guarantee)
+                for statement in additions
+            )
+        )
+        revert = PolicyDelta(remove=tuple(s.identifier for s in additions))
+        extended = _extended_policy(scenario, additions)
+
+        incremental_ms = float("inf")
+        full_ms = float("inf")
+        incremental = full = None
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            incremental = incremental_compiler.recompile(delta)
+            incremental_ms = min(
+                incremental_ms, (time.perf_counter() - started) * 1000.0
+            )
+
+            fresh_compiler = _compiler(scenario.topology)
+            started = time.perf_counter()
+            full = fresh_compiler.compile(extended)
+            full_ms = min(full_ms, (time.perf_counter() - started) * 1000.0)
+
+            # Revert so the next repeat (and the next delta size) starts
+            # from the base policy again; exercises the removal path.
+            reverted = incremental_compiler.recompile(revert)
+            if not _same_allocations(reverted, base):  # pragma: no cover
+                raise AssertionError(
+                    "reverting a delta did not restore the base state"
+                )
+
+        rows.append(
+            ReprovisionRow(
+                arity=arity,
+                statements=len(extended.statements),
+                partitions=incremental.statistics.num_partitions,
+                delta_size=delta_size,
+                dirty_partitions=incremental.statistics.dirty_partitions,
+                full_ms=full_ms,
+                incremental_ms=incremental_ms,
+                speedup=full_ms / incremental_ms if incremental_ms > 0 else float("inf"),
+                identical=_same_allocations(incremental, full),
+            )
+        )
+    return rows

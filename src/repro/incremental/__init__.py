@@ -1,0 +1,50 @@
+"""Incremental re-provisioning: delta compilation with partitioned solves.
+
+The paper's adaptation story (§4.3, Figure 10) is that run-time bandwidth
+re-allocation is cheap because it avoids global recompilation.  This package
+extends that property to changes that *do* need new paths: instead of
+rebuilding and re-solving the whole provisioning MIP, an
+:class:`IncrementalProvisioner` splices statements in and out of a live
+model, partitions the statements into link-disjoint components, and
+re-solves only the components a delta touched — in parallel, warm-started
+from the previous incumbent.
+
+Layout:
+
+* :mod:`repro.incremental.partition` — union-find decomposition of the MIP
+  along shared physical links,
+* :mod:`repro.incremental.solve` — canonical component model construction,
+  (optionally pooled) solving, and solution merging; also the back end of
+  the full compiler's partitioned ``provision()``,
+* :mod:`repro.incremental.engine` — the live-model delta engine,
+* :mod:`repro.incremental.delta` — :class:`PolicyDelta` and policy diffing
+  for :meth:`MerlinCompiler.recompile` and the negotiator hierarchy.
+"""
+
+from .delta import DeltaStatement, PolicyDelta, RateUpdate, policy_delta
+from .engine import IncrementalProvisioner
+from .partition import LinkKey, PartitionSpec, UnionFind, partition_statements
+from .solve import (
+    PartitionSolution,
+    build_partition_model,
+    merge_partition_solutions,
+    project_warm_start,
+    provision_partitioned,
+)
+
+__all__ = [
+    "DeltaStatement",
+    "PolicyDelta",
+    "RateUpdate",
+    "policy_delta",
+    "IncrementalProvisioner",
+    "LinkKey",
+    "PartitionSpec",
+    "UnionFind",
+    "partition_statements",
+    "PartitionSolution",
+    "build_partition_model",
+    "merge_partition_solutions",
+    "project_warm_start",
+    "provision_partitioned",
+]

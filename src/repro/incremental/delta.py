@@ -1,0 +1,131 @@
+"""Policy deltas: the unit of work of incremental re-provisioning.
+
+A :class:`PolicyDelta` describes how a statement population changes —
+statements added (with their localized rates), statements removed, and
+statements whose rates changed without touching predicate or path.
+Deltas are consumed by :meth:`MerlinCompiler.recompile` and produced either
+directly by callers or by :func:`policy_delta`, which diffs two policies
+(the negotiator uses it to turn a verified refinement into the minimal
+re-provisioning work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.ast import Policy, Statement
+from ..core.localization import localize
+from ..units import Bandwidth
+
+
+@dataclass(frozen=True)
+class DeltaStatement:
+    """A statement entering the policy, with its localized rates."""
+
+    statement: Statement
+    guarantee: Optional[Bandwidth] = None
+    cap: Optional[Bandwidth] = None
+
+
+@dataclass(frozen=True)
+class RateUpdate:
+    """New localized rates for an existing statement (shape unchanged)."""
+
+    identifier: str
+    guarantee: Optional[Bandwidth] = None
+    cap: Optional[Bandwidth] = None
+
+
+@dataclass(frozen=True)
+class PolicyDelta:
+    """A set of statement-level changes applied atomically by ``recompile``.
+
+    ``remove`` is applied first, then ``add``, then ``update_rates`` — so a
+    statement whose predicate or path changed appears in both ``remove`` and
+    ``add`` under the same identifier.
+    """
+
+    add: Tuple[DeltaStatement, ...] = ()
+    remove: Tuple[str, ...] = ()
+    update_rates: Tuple[RateUpdate, ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (self.add or self.remove or self.update_rates)
+
+    def num_changes(self) -> int:
+        return len(self.add) + len(self.remove) + len(self.update_rates)
+
+    def __str__(self) -> str:
+        return (
+            f"PolicyDelta(+{len(self.add)} -{len(self.remove)} "
+            f"~{len(self.update_rates)})"
+        )
+
+
+def same_rate(left: Optional[Bandwidth], right: Optional[Bandwidth]) -> bool:
+    """Value equality over optional bandwidths (``None`` only equals ``None``).
+
+    Shared by the policy diff below and the negotiator's delegated-delta
+    rewrite, which must agree on what counts as "the tenant changed this
+    rate".
+    """
+    if left is None or right is None:
+        return left is None and right is None
+    return left.bps_value == right.bps_value
+
+
+def policy_delta(
+    old: Policy,
+    new: Policy,
+    weights: Optional[Mapping[str, float]] = None,
+) -> PolicyDelta:
+    """Diff two policies into the minimal statement-level delta.
+
+    Statements are matched by identifier.  A matched statement whose
+    predicate or path expression changed becomes a remove + add pair (its
+    forwarding state must be re-provisioned); one whose localized rates
+    changed becomes a rate update (reservation rows only — the cheap
+    adaptation of §4.3); identical statements produce no work at all.
+
+    ``weights`` are the localization split weights and must match the
+    compiler's ``localization_weights``, or the delta's rates would diverge
+    from what a full compile of ``new`` localizes.
+    """
+    old_rates = localize(old, weights=weights)
+    new_rates = localize(new, weights=weights)
+    old_by_id: Dict[str, Statement] = {s.identifier: s for s in old.statements}
+    new_by_id: Dict[str, Statement] = {s.identifier: s for s in new.statements}
+
+    removed: List[str] = [
+        identifier for identifier in old_by_id if identifier not in new_by_id
+    ]
+    added: List[DeltaStatement] = []
+    updates: List[RateUpdate] = []
+    for identifier, statement in new_by_id.items():
+        rates = new_rates[identifier]
+        if identifier not in old_by_id:
+            added.append(
+                DeltaStatement(statement, guarantee=rates.guarantee, cap=rates.cap)
+            )
+            continue
+        previous = old_by_id[identifier]
+        if (
+            previous.predicate != statement.predicate
+            or previous.path != statement.path
+        ):
+            removed.append(identifier)
+            added.append(
+                DeltaStatement(statement, guarantee=rates.guarantee, cap=rates.cap)
+            )
+            continue
+        before = old_rates[identifier]
+        if not same_rate(before.guarantee, rates.guarantee) or not same_rate(
+            before.cap, rates.cap
+        ):
+            updates.append(
+                RateUpdate(identifier, guarantee=rates.guarantee, cap=rates.cap)
+            )
+    return PolicyDelta(
+        add=tuple(added), remove=tuple(removed), update_rates=tuple(updates)
+    )

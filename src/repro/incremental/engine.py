@@ -1,0 +1,472 @@
+"""The incremental re-provisioning engine (delta compilation).
+
+:class:`IncrementalProvisioner` owns a *live* provisioning model and keeps
+it in sync with a changing statement population without ever rebuilding it:
+
+* :meth:`add_statement` splices a statement's flow-conservation rows and
+  per-link reservation terms into the model (re-using the indexed
+  construction's per-vertex and per-link buckets),
+* :meth:`remove_statement` splices them back out,
+* :meth:`update_rates` rewrites the statement's guarantee coefficients in
+  the reservation rows it touches.
+
+:meth:`resolve` then re-provisions: the active statements are partitioned
+into link-disjoint components (union-find over logical link footprints),
+components whose membership and rates are unchanged since the previous
+solve re-use their cached :class:`~repro.incremental.solve.PartitionSolution`
+verbatim, and only the *dirty* components are rebuilt (in canonical order)
+and re-solved — concurrently in a process pool when several are dirty, each
+warm-started from the previous incumbent projected onto its surviving
+variables.  The merged result is bit-identical to a from-scratch
+``provision()`` of the same statements because both paths construct and
+solve exactly the same canonical component models.
+
+One caveat on that identity: the default SciPy/HiGHS backend ignores warm
+starts, so it is exact there.  With the pure-Python
+:class:`~repro.lp.branch_and_bound.BranchAndBoundSolver`, a seeded
+incumbent prunes open nodes within the solver's ``absolute_gap`` (1e-6),
+so on components whose tiebreaker epsilon falls below that gap (more than
+roughly a thousand logical edges in one component) a warm-started re-solve
+may keep a previous optimum that a cold solve would replace with an
+equal-``r_max``, marginally-cheaper-tiebreaker one.  Allocations remain
+optimal either way; only tie selection can differ (see the ROADMAP
+follow-on on warm-start determinism).
+
+The live model itself is solvable too (:meth:`solve_live`), which is how the
+test suite proves that splicing maintains a model coefficient-identical to a
+fresh :func:`~repro.core.provisioning.build_provisioning_model` build.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.ast import Statement
+from ..core.localization import LocalRates
+from ..core.logical import LogicalTopology, build_logical_topology, infer_endpoints
+from ..core.provisioning import (
+    _MBPS,
+    PathSelectionHeuristic,
+    ProvisioningResult,
+    emit_link_rows,
+    set_provisioning_objective,
+    splice_statement_rows,
+)
+from ..errors import ProvisioningError
+from ..lp.constraint import Constraint
+from ..lp.expr import Variable
+from ..lp.model import Model
+from ..topology.graph import Topology
+from ..units import Bandwidth
+from .partition import LinkKey, PartitionSpec, partition_statements
+from .solve import (
+    PartitionSolution,
+    build_partition_model,
+    extract_partition_solution,
+    merge_partition_solutions,
+    project_warm_start,
+    solver_consumes_warm_starts,
+    solve_partition_models,
+    topology_capacities_mbps,
+)
+
+#: A partition's cache key: heuristic plus each member's (id, revision).
+Signature = Tuple[str, Tuple[Tuple[str, int], ...]]
+
+
+class IncrementalProvisioner:
+    """A live provisioning model supporting add/remove/update + resolve.
+
+    ``max_workers`` > 1 enables the process pool for multi-component
+    re-solves; 0 (the default) solves dirty components in-process, which is
+    the right choice for the common single-component delta.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        placements: Optional[Mapping[str, Iterable[str]]] = None,
+        heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
+        solver=None,
+        max_workers: int = 0,
+        cache_limit: int = 512,
+    ) -> None:
+        self.topology = topology
+        self.placements = dict(placements or {})
+        self.heuristic = heuristic
+        self.solver = solver
+        self.max_workers = max_workers
+        self._cache_limit = cache_limit
+
+        self._capacity_mbps = topology_capacities_mbps(topology)
+        self._statements: Dict[str, Statement] = {}
+        self._logical: Dict[str, LogicalTopology] = {}
+        self._rates: Dict[str, LocalRates] = {}
+        # Per-statement link footprint, computed once at add time: logical
+        # topologies are immutable, and re-walking every statement's edges
+        # on each resolve would put O(total logical edges) back on the
+        # latency path this engine exists to shrink.
+        self._footprints: Dict[str, frozenset] = {}
+        self._revisions: Dict[str, int] = {}
+        self._revision_counter = itertools.count(1)
+
+        self._cache: Dict[Signature, PartitionSolution] = {}
+        self._last_values: Dict[str, float] = {}
+
+        # --- the live global model -------------------------------------------
+        self._model = Model(name="merlin-provisioning-live")
+        self._edge_variables: Dict[str, Dict[int, Variable]] = {}
+        self._flow_rows: Dict[str, List[Constraint]] = {}
+        # Per link, per statement: the edge variables contributing to the
+        # link's Equation-2 row (the live per-link buckets).
+        self._link_members: Dict[LinkKey, Dict[str, List[Variable]]] = {}
+        links = list(self._capacity_mbps.items())
+        (
+            self._r_max,
+            self._big_r_max,
+            self._reservation_fraction,
+            self._reserve_rows,
+            self._max_capacity_mbps,
+        ) = emit_link_rows(self._model, links, {})
+        self._objective_stale = True
+
+    # -- introspection -----------------------------------------------------------
+
+    def statement_ids(self) -> List[str]:
+        return list(self._statements)
+
+    def has_statement(self, identifier: str) -> bool:
+        return identifier in self._statements
+
+    def rates_for(self, identifier: str) -> LocalRates:
+        return self._rates[identifier]
+
+    def logical_for(self, identifier: str) -> LogicalTopology:
+        return self._logical[identifier]
+
+    @property
+    def live_model(self) -> Model:
+        """The spliced global model (objective possibly stale; see sync)."""
+        return self._model
+
+    def num_live_variables(self) -> int:
+        return self._model.num_variables()
+
+    def num_live_constraints(self) -> int:
+        return self._model.num_constraints()
+
+    # -- delta operations ---------------------------------------------------------
+
+    def add_statement(
+        self,
+        statement: Statement,
+        guarantee: Bandwidth,
+        cap: Optional[Bandwidth] = None,
+        logical: Optional[LogicalTopology] = None,
+    ) -> None:
+        """Splice a guaranteed statement into the live model.
+
+        ``logical`` may be supplied when the caller already built the
+        statement's product graph (the compiler's memoized pipeline does);
+        otherwise it is constructed here from the statement's inferred
+        endpoints.
+        """
+        identifier = statement.identifier
+        if identifier in self._statements:
+            raise ProvisioningError(
+                f"statement {identifier!r} is already provisioned; remove it "
+                "first or use update_rates"
+            )
+        if guarantee is None or guarantee.bps_value <= 0:
+            raise ProvisioningError(
+                f"statement {identifier!r} needs a positive bandwidth "
+                "guarantee to enter the provisioning MIP"
+            )
+        if logical is None:
+            source, destination = infer_endpoints(statement, self.topology)
+            if source is None or destination is None:
+                raise ProvisioningError(
+                    f"statement {identifier!r} requests a bandwidth guarantee "
+                    "but its source/destination hosts cannot be determined"
+                )
+            logical = build_logical_topology(
+                statement,
+                self.topology,
+                self.placements,
+                source=source,
+                destination=destination,
+            )
+        if logical.num_edges() == 0:
+            raise ProvisioningError(
+                f"statement {identifier!r} has no feasible path satisfying "
+                "its path expression"
+            )
+
+        guarantee_mbps = guarantee.bps_value / _MBPS
+        variables, flow_rows, touched = splice_statement_rows(
+            self._model, statement, logical
+        )
+        for key, members in touched.items():
+            row = self._reserve_rows[key].expression
+            for variable in members:
+                row.add_term(variable, -guarantee_mbps)
+
+        self._statements[identifier] = statement
+        self._logical[identifier] = logical
+        self._footprints[identifier] = frozenset(logical.physical_links_used())
+        self._rates[identifier] = LocalRates(
+            identifier=identifier, guarantee=guarantee, cap=cap
+        )
+        self._edge_variables[identifier] = variables
+        self._flow_rows[identifier] = flow_rows
+        for key, members in touched.items():
+            self._link_members.setdefault(key, {})[identifier] = members
+        self._revisions[identifier] = next(self._revision_counter)
+        self._objective_stale = True
+
+    def remove_statement(self, identifier: str) -> None:
+        """Splice a statement's rows and variables back out of the live model."""
+        if identifier not in self._statements:
+            raise ProvisioningError(f"unknown statement {identifier!r}")
+        for key in self._footprints[identifier]:
+            members = self._link_members.get(key)
+            if members is None:
+                continue
+            variables = members.pop(identifier, None)
+            if variables:
+                row = self._reserve_rows[key].expression
+                for variable in variables:
+                    row.remove_term(variable)
+            if not members:
+                del self._link_members[key]
+        self._model.remove_constraints(self._flow_rows.pop(identifier))
+        removed_variables = self._edge_variables.pop(identifier)
+        self._model.remove_variables(removed_variables.values())
+        # Drop the statement's incumbent values: a later re-add under the
+        # same identifier reuses variable names, and a projection built from
+        # a different logical topology must not masquerade as a warm start
+        # (it also keeps the incumbent map from growing without bound).
+        for variable in removed_variables.values():
+            self._last_values.pop(variable.name, None)
+        del self._statements[identifier]
+        del self._logical[identifier]
+        del self._footprints[identifier]
+        del self._rates[identifier]
+        del self._revisions[identifier]
+        self._objective_stale = True
+
+    def update_rates(
+        self,
+        identifier: str,
+        guarantee: Bandwidth,
+        cap: Optional[Bandwidth] = None,
+    ) -> None:
+        """Rewrite a statement's guarantee in every reservation row it touches."""
+        if identifier not in self._statements:
+            raise ProvisioningError(f"unknown statement {identifier!r}")
+        if guarantee is None or guarantee.bps_value <= 0:
+            raise ProvisioningError(
+                f"statement {identifier!r} needs a positive guarantee; remove "
+                "it instead to make it best-effort"
+            )
+        previous = self._rates[identifier].guarantee
+        self._rates[identifier] = LocalRates(
+            identifier=identifier, guarantee=guarantee, cap=cap
+        )
+        if previous is not None and previous.bps_value == guarantee.bps_value:
+            # Cap-only change: the cap never enters the provisioning MIP, so
+            # the model is untouched and the statement's partition stays
+            # clean (its cached solution remains valid).
+            return
+        guarantee_mbps = guarantee.bps_value / _MBPS
+        for key in self._footprints[identifier]:
+            members = self._link_members.get(key)
+            if members is None:
+                continue
+            for variable in members.get(identifier, ()):
+                self._reserve_rows[key].expression.set_term(
+                    variable, -guarantee_mbps
+                )
+        self._revisions[identifier] = next(self._revision_counter)
+        self._objective_stale = True
+
+    # -- solving -------------------------------------------------------------------
+
+    def _signature(self, spec: PartitionSpec) -> Signature:
+        return (
+            self.heuristic.value,
+            tuple((sid, self._revisions[sid]) for sid in spec.statement_ids),
+        )
+
+    def prime(self, solutions: Iterable[PartitionSolution]) -> int:
+        """Seed the component cache from a previous full provisioning run.
+
+        Solutions are matched to the current components by statement-id set;
+        the number of adopted solutions is returned.  This lets a compiler
+        hand its ``ProvisioningResult.partition_solutions`` to a fresh
+        engine so the first delta only re-solves what it touched.
+        """
+        by_members = {
+            frozenset(solution.spec.statement_ids): solution
+            for solution in solutions
+        }
+        adopted = 0
+        for spec in self._current_partitions():
+            solution = by_members.get(frozenset(spec.statement_ids))
+            if solution is not None:
+                self._cache[self._signature(spec)] = solution
+                self._last_values.update(solution.values_by_name)
+                adopted += 1
+        return adopted
+
+    def _current_partitions(self) -> List[PartitionSpec]:
+        return partition_statements(self._footprints)
+
+    def resolve(self) -> ProvisioningResult:
+        """Re-provision the active statements, re-solving only dirty components.
+
+        The returned :class:`ProvisioningResult` is identical to what a
+        from-scratch partitioned ``provision()`` of the same statements
+        would produce; ``solve_statistics`` additionally reports
+        ``partitions_dirty`` / ``partitions_reused``.
+        """
+        if not self._statements:
+            return ProvisioningResult(
+                paths={},
+                link_reservations={},
+                max_utilization=0.0,
+                max_reservation=Bandwidth(0.0),
+                lp_construction_seconds=0.0,
+                lp_solve_seconds=0.0,
+                num_variables=0,
+                num_constraints=0,
+            )
+        specs = self._current_partitions()
+        reused: Dict[PartitionSpec, PartitionSolution] = {}
+        dirty: List[PartitionSpec] = []
+        for spec in specs:
+            cached = self._cache.get(self._signature(spec))
+            if cached is not None:
+                reused[spec] = cached
+            else:
+                dirty.append(spec)
+
+        construction_start = time.perf_counter()
+        built_models = []
+        build_seconds = []
+        for spec in dirty:
+            build_start = time.perf_counter()
+            built_models.append(
+                build_partition_model(
+                    spec,
+                    self._statements,
+                    self._logical,
+                    self._rates,
+                    self._capacity_mbps,
+                    self.heuristic,
+                )
+            )
+            build_seconds.append(time.perf_counter() - build_start)
+        lp_construction_seconds = time.perf_counter() - construction_start
+
+        seed_starts = bool(self._last_values) and solver_consumes_warm_starts(
+            self.solver
+        )
+        warm_starts = [
+            project_warm_start(built, self._last_values) if seed_starts else None
+            for built in built_models
+        ]
+        solve_start = time.perf_counter()
+        outcomes = solve_partition_models(
+            built_models,
+            solver=self.solver,
+            warm_starts=warm_starts,
+            max_workers=self.max_workers,
+        )
+        lp_solve_seconds = time.perf_counter() - solve_start
+
+        solved = {
+            spec: extract_partition_solution(spec, built, outcome, seconds)
+            for spec, built, outcome, seconds in zip(
+                dirty, built_models, outcomes, build_seconds
+            )
+        }
+        solutions = [
+            reused[spec] if spec in reused else solved[spec] for spec in specs
+        ]
+
+        result = merge_partition_solutions(
+            solutions,
+            self._statements,
+            self._rates,
+            self.topology,
+            self.placements,
+            lp_construction_seconds,
+            lp_solve_seconds,
+            heuristic=self.heuristic,
+        )
+        result.solve_statistics["partitions_dirty"] = float(len(dirty))
+        result.solve_statistics["partitions_reused"] = float(len(reused))
+        # The merge sums work diagnostics over every component it was
+        # handed, cached ones included; report only the work THIS resolve
+        # performed (reused components were solved by an earlier call).
+        result.solve_statistics["solve_cpu_seconds"] = float(
+            sum(solution.solve_seconds for solution in solved.values())
+        )
+        dirty_nodes = [
+            solution.statistics.get("nodes") for solution in solved.values()
+        ]
+        if any(value is not None for value in dirty_nodes):
+            result.solve_statistics["nodes"] = float(
+                sum(value or 0.0 for value in dirty_nodes)
+            )
+        else:
+            result.solve_statistics.pop("nodes", None)
+
+        # Retain previous entries (bounded, LRU): oscillating deltas — add
+        # then revert, AIMD up/down — bring back signatures solved a resolve
+        # or two ago, and those must be cache hits, not re-solves.
+        for spec, solution in zip(specs, solutions):
+            signature = self._signature(spec)
+            self._cache.pop(signature, None)
+            self._cache[signature] = solution
+        while len(self._cache) > self._cache_limit:
+            self._cache.pop(next(iter(self._cache)))
+        for solution in solved.values():
+            self._last_values.update(solution.values_by_name)
+        return result
+
+    # -- the live model as a solvable artifact --------------------------------------
+
+    def sync_objective(self) -> None:
+        """Refresh the live model's objective after deltas.
+
+        The tiebreaker epsilon and the guarantee quantum depend on the
+        statement population, so the objective is rebuilt lazily rather than
+        patched on every delta.
+        """
+        if not self._objective_stale:
+            return
+        set_provisioning_objective(
+            self._model,
+            list(self._statements.values()),
+            self._logical,
+            self._rates,
+            self._edge_variables,
+            self._r_max,
+            self._big_r_max,
+            self.heuristic,
+            self._max_capacity_mbps,
+        )
+        self._objective_stale = False
+
+    def solve_live(self, solver=None):
+        """Solve the live global model directly (no partitioning, no cache).
+
+        Exists as a correctness escape hatch and for the splice-equivalence
+        tests; :meth:`resolve` is the fast path.
+        """
+        self.sync_objective()
+        return self._model.solve(solver or self.solver)

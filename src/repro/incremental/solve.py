@@ -1,0 +1,415 @@
+"""Partition-parallel solving of the provisioning MIP.
+
+This module is the shared back half of both provisioning paths:
+
+* :func:`provision_partitioned` — the full-compile path: partition the
+  statements, build one sub-model per component
+  (:func:`build_partition_model`), solve every component, and merge.
+* the incremental engine (:mod:`repro.incremental.engine`) — builds and
+  solves only the *dirty* components of a delta, re-using cached
+  :class:`PartitionSolution` objects for untouched ones, then merges with
+  the same :func:`merge_partition_solutions`.
+
+Both paths construct each component's model with the same canonical
+ordering (statements sorted by identifier, links sorted by key), so a
+component's model — and therefore the solver's answer — depends only on the
+component's content, never on how the caller arrived at it.  That is the
+property behind the engine's equivalence guarantee: a sequence of deltas
+followed by ``resolve()`` yields exactly the allocations of a from-scratch
+``compile()`` of the final policy.
+
+Disjoint components are independent MIPs, so they can be solved
+concurrently: ``max_workers > 1`` ships the built models to a
+``ProcessPoolExecutor`` (models pickle cleanly; results return as
+name-keyed value maps).  Warm starts are projected onto each component's
+binary edge variables and repaired (the dependent continuous reservation
+variables are recomputed) before being handed to the solver backend.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.localization import LocalRates
+from ..core.logical import LogicalTopology
+from ..core.provisioning import (
+    _MBPS,
+    PathSelectionHeuristic,
+    ProvisioningModel,
+    ProvisioningResult,
+    _assign_functions,
+    _extract_path,
+    build_model_for_links,
+)
+from ..core.allocation import PathAssignment
+from ..core.ast import Statement
+from ..errors import ProvisioningError
+from ..lp.result import SolveStatus
+from ..topology.graph import Topology
+from ..units import Bandwidth
+from .partition import LinkKey, PartitionSpec, partition_statements
+
+
+@dataclass
+class PartitionSolution:
+    """The solved state of one link-disjoint component.
+
+    Everything the merge step (and the incremental engine's cache) needs:
+    the location paths selected for each member statement, the reservation
+    fraction of each component link, the raw variable assignment by name
+    (the warm-start source for later re-solves), and solver diagnostics.
+    """
+
+    spec: PartitionSpec
+    location_paths: Dict[str, Tuple[str, ...]]
+    fractions: Dict[LinkKey, float]
+    values_by_name: Dict[str, float]
+    status: str
+    objective: Optional[float]
+    statistics: Dict[str, float] = field(default_factory=dict)
+    num_variables: int = 0
+    num_constraints: int = 0
+    construction_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+
+def link_footprints(
+    statement_ids: Iterable[str],
+    logical_topologies: Mapping[str, LogicalTopology],
+) -> Dict[str, frozenset]:
+    """Each statement's set of usable physical links (partitioning input)."""
+    return {
+        identifier: frozenset(logical_topologies[identifier].physical_links_used())
+        for identifier in statement_ids
+    }
+
+
+def topology_capacities_mbps(topology: Topology) -> Dict[LinkKey, float]:
+    """Undirected link key -> capacity in Mbps (the MIP's unit)."""
+    return {
+        tuple(sorted((link.source, link.target))): link.capacity.bps_value / _MBPS
+        for link in topology.links()
+    }
+
+
+def build_partition_model(
+    spec: PartitionSpec,
+    statements_by_id: Mapping[str, Statement],
+    logical_topologies: Mapping[str, LogicalTopology],
+    rates: Mapping[str, LocalRates],
+    capacity_mbps: Mapping[LinkKey, float],
+    heuristic: PathSelectionHeuristic,
+) -> ProvisioningModel:
+    """Build one component's sub-model in canonical order.
+
+    Statement order is the spec's (sorted) identifier order and link order
+    is the spec's (sorted) key order, making the model a pure function of
+    the component's content.
+    """
+    members = [statements_by_id[identifier] for identifier in spec.statement_ids]
+    links = [(key, capacity_mbps[key]) for key in spec.links]
+    return build_model_for_links(
+        members, logical_topologies, rates, links, heuristic=heuristic
+    )
+
+
+def solver_consumes_warm_starts(solver) -> bool:
+    """Whether computing a MIP start for this backend is worthwhile.
+
+    ``None`` (the default backend, :class:`~repro.lp.scipy_backend.
+    ScipySolver`) records-and-ignores starts, so projection work would be
+    wasted on the delta-latency path.  Backends advertise support via a
+    ``consumes_warm_starts`` attribute; unknown third-party backends default
+    to ``True`` — ``Model.solve``'s signature probe still drops the keyword
+    if their ``solve`` cannot receive it.
+    """
+    if solver is None:
+        return False
+    return bool(getattr(solver, "consumes_warm_starts", True))
+
+
+def project_warm_start(
+    built: ProvisioningModel, previous_values: Mapping[str, float]
+) -> Optional[Dict[str, float]]:
+    """Project a prior incumbent onto a component model and repair it.
+
+    Binary edge variables take their previous values (statements absent from
+    the prior solution contribute nothing and the projection is abandoned —
+    a partial path cannot be feasible).  The dependent continuous variables
+    are recomputed from the projected edges: each link's reservation
+    fraction from its Equation-2 row, then ``r_max`` / ``R_max`` as the
+    maxima.  The solver still validates the start before seeding its
+    incumbent, so a stale projection degrades to a cold solve, never to a
+    wrong answer.
+    """
+    values: Dict[str, float] = {}
+    for variables in built.edge_variables.values():
+        for variable in variables.values():
+            previous = previous_values.get(variable.name)
+            if previous is None:
+                return None
+            values[variable.name] = previous
+    r_max = 0.0
+    big_r_max = 0.0
+    for key, r_uv in built.reservation_fraction.items():
+        # Equation 2 row: capacity * r_uv - sum(g_i * x_e) == 0.
+        reserve = built.reserve_rows[key].expression
+        reserved_mbps = 0.0
+        capacity = 0.0
+        for variable, coefficient in reserve.coefficients.items():
+            if variable == r_uv:
+                capacity = coefficient
+            else:
+                reserved_mbps += -coefficient * values.get(variable.name, 0.0)
+        fraction = reserved_mbps / capacity if capacity > 0.0 else 0.0
+        values[r_uv.name] = fraction
+        r_max = max(r_max, fraction)
+        big_r_max = max(big_r_max, reserved_mbps)
+    values[built.r_max.name] = r_max
+    values[built.big_r_max.name] = big_r_max
+    return values
+
+
+def _solve_model_payload(payload):
+    """Process-pool worker: solve one component model.
+
+    Takes ``(model, solver, warm_start)`` and returns a picklable tuple
+    ``(status value, values by variable name, objective, statistics)``.
+    """
+    model, solver, warm_start = payload
+    result = model.solve(solver, warm_start=warm_start)
+    return (
+        result.status.value,
+        result.values_by_name(),
+        result.objective,
+        dict(result.statistics),
+    )
+
+
+def solve_partition_models(
+    built_models: Sequence[ProvisioningModel],
+    solver=None,
+    warm_starts: Optional[Sequence[Optional[Mapping[str, float]]]] = None,
+    max_workers: int = 0,
+) -> List[Tuple[str, Dict[str, float], Optional[float], Dict[str, float]]]:
+    """Solve component models, in-process or via a process pool.
+
+    Returns one ``(status, values_by_name, objective, statistics)`` tuple
+    per model, in input order.  The pool is only engaged when more than one
+    model is to be solved and ``max_workers`` allows it — a single dirty
+    component (the common 1-statement delta) never pays fork overhead.
+    """
+    if warm_starts is None:
+        warm_starts = [None] * len(built_models)
+    payloads = [
+        (built.model, solver, warm)
+        for built, warm in zip(built_models, warm_starts)
+    ]
+    if max_workers > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(max_workers, len(payloads))
+        ) as pool:
+            return list(pool.map(_solve_model_payload, payloads))
+    return [_solve_model_payload(payload) for payload in payloads]
+
+
+def extract_partition_solution(
+    spec: PartitionSpec,
+    built: ProvisioningModel,
+    outcome: Tuple[str, Dict[str, float], Optional[float], Dict[str, float]],
+    construction_seconds: float = 0.0,
+) -> PartitionSolution:
+    """Read a component's solve outcome into a :class:`PartitionSolution`."""
+    status_value, values_by_name, objective, statistics = outcome
+    status = SolveStatus(status_value)
+    if not status.has_solution:
+        members = ", ".join(spec.statement_ids)
+        raise ProvisioningError(
+            "bandwidth provisioning is infeasible for the statement group "
+            f"[{members}]: the requested guarantees cannot be satisfied "
+            f"(solver status: {status_value})"
+        )
+    location_paths: Dict[str, Tuple[str, ...]] = {}
+    for identifier in spec.statement_ids:
+        logical = built.logical_topologies[identifier]
+        selected = [
+            logical.edges[index]
+            for index, variable in built.edge_variables[identifier].items()
+            if values_by_name.get(variable.name, 0.0) > 0.5
+        ]
+        location_paths[identifier] = tuple(_extract_path(selected))
+    fractions = {
+        key: max(0.0, values_by_name.get(variable.name, 0.0))
+        for key, variable in built.reservation_fraction.items()
+    }
+    return PartitionSolution(
+        spec=spec,
+        location_paths=location_paths,
+        fractions=fractions,
+        values_by_name=values_by_name,
+        status=status_value,
+        objective=objective,
+        statistics=statistics,
+        num_variables=built.model.num_variables(),
+        num_constraints=built.model.num_constraints(),
+        construction_seconds=construction_seconds,
+        solve_seconds=statistics.get("solve_seconds", 0.0),
+    )
+
+
+def merge_partition_solutions(
+    solutions: Sequence[PartitionSolution],
+    statements_by_id: Mapping[str, Statement],
+    rates: Mapping[str, LocalRates],
+    topology: Topology,
+    placements: Mapping[str, Iterable[str]],
+    lp_construction_seconds: float,
+    lp_solve_seconds: float,
+    heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
+) -> ProvisioningResult:
+    """Merge disjoint component solutions into one :class:`ProvisioningResult`.
+
+    Links outside every component's footprint carry zero reservation; the
+    maxima (``r_max`` / ``R_max``) are the maxima over components.
+    ``heuristic`` determines how the per-component dual bounds aggregate:
+    the weighted-shortest-path objective is a sum across components, the
+    min-max objectives are maxima, and the merged ``best_bound`` follows
+    the same shape.
+    """
+    paths: Dict[str, PathAssignment] = {}
+    for solution in solutions:
+        for identifier, location_path in solution.location_paths.items():
+            statement = statements_by_id[identifier]
+            paths[identifier] = PathAssignment(
+                statement_id=identifier,
+                path=tuple(location_path),
+                function_placements=_assign_functions(
+                    statement.path, location_path, placements, topology
+                ),
+                guaranteed_rate=rates[identifier].guarantee,
+            )
+
+    fractions: Dict[LinkKey, float] = {}
+    for solution in solutions:
+        fractions.update(solution.fractions)
+    link_reservations: Dict[LinkKey, Bandwidth] = {}
+    max_utilization = 0.0
+    max_reservation = Bandwidth(0.0)
+    for link in topology.links():
+        key = tuple(sorted((link.source, link.target)))
+        fraction = fractions.get(key, 0.0)
+        reserved = Bandwidth(fraction * link.capacity.bps_value)
+        link_reservations[key] = reserved
+        max_utilization = max(max_utilization, fraction)
+        if reserved.bps_value > max_reservation.bps_value:
+            max_reservation = reserved
+
+    statistics: Dict[str, float] = {"partitions": float(len(solutions))}
+    nodes = [s.statistics.get("nodes") for s in solutions]
+    if any(value is not None for value in nodes):
+        statistics["nodes"] = float(sum(value or 0.0 for value in nodes))
+    bounds = [s.statistics.get("best_bound") for s in solutions]
+    if bounds and all(value is not None for value in bounds):
+        objectives = [s.objective for s in solutions]
+        if heuristic is PathSelectionHeuristic.WEIGHTED_SHORTEST_PATH:
+            merged_bound = float(sum(bounds))
+            merged_objective = (
+                float(sum(objectives))
+                if all(value is not None for value in objectives)
+                else None
+            )
+        else:
+            merged_bound = float(max(bounds))
+            merged_objective = (
+                float(max(objectives))
+                if all(value is not None for value in objectives)
+                else None
+            )
+        statistics["best_bound"] = merged_bound
+        if merged_objective is not None:
+            # Recompute the absolute gap from the *merged* incumbent and
+            # bound rather than max-ing per-component gaps, which misstates
+            # it in both directions: summed objectives accumulate gaps,
+            # and under min-max an optimal dominant component closes a
+            # smaller feasible component's gap entirely.
+            statistics["gap"] = max(0.0, merged_objective - merged_bound)
+    statistics["solve_cpu_seconds"] = float(
+        sum(solution.solve_seconds for solution in solutions)
+    )
+    status = (
+        SolveStatus.FEASIBLE.value
+        if any(s.status == SolveStatus.FEASIBLE.value for s in solutions)
+        else SolveStatus.OPTIMAL.value
+    )
+
+    return ProvisioningResult(
+        paths=paths,
+        link_reservations=link_reservations,
+        max_utilization=max_utilization,
+        max_reservation=max_reservation,
+        lp_construction_seconds=lp_construction_seconds,
+        lp_solve_seconds=lp_solve_seconds,
+        num_variables=sum(s.num_variables for s in solutions),
+        num_constraints=sum(s.num_constraints for s in solutions),
+        solve_status=status,
+        solve_statistics=statistics,
+        num_partitions=len(solutions),
+        partition_solutions=list(solutions),
+    )
+
+
+def provision_partitioned(
+    statements: Sequence[Statement],
+    logical_topologies: Mapping[str, LogicalTopology],
+    rates: Mapping[str, LocalRates],
+    topology: Topology,
+    placements: Mapping[str, Iterable[str]],
+    heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
+    solver=None,
+    max_workers: int = 0,
+) -> ProvisioningResult:
+    """The partitioned full-compile provisioning path (see module docstring)."""
+    statements_by_id = {statement.identifier: statement for statement in statements}
+    capacity_mbps = topology_capacities_mbps(topology)
+
+    construction_start = time.perf_counter()
+    footprints = link_footprints(statements_by_id, logical_topologies)
+    specs = partition_statements(footprints)
+    built_models: List[ProvisioningModel] = []
+    build_seconds: List[float] = []
+    for spec in specs:
+        build_start = time.perf_counter()
+        built_models.append(
+            build_partition_model(
+                spec, statements_by_id, logical_topologies, rates,
+                capacity_mbps, heuristic,
+            )
+        )
+        build_seconds.append(time.perf_counter() - build_start)
+    lp_construction_seconds = time.perf_counter() - construction_start
+
+    solve_start = time.perf_counter()
+    outcomes = solve_partition_models(
+        built_models, solver=solver, max_workers=max_workers
+    )
+    lp_solve_seconds = time.perf_counter() - solve_start
+
+    solutions = [
+        extract_partition_solution(spec, built, outcome, seconds)
+        for spec, built, outcome, seconds in zip(
+            specs, built_models, outcomes, build_seconds
+        )
+    ]
+    return merge_partition_solutions(
+        solutions,
+        statements_by_id,
+        rates,
+        topology,
+        placements,
+        lp_construction_seconds,
+        lp_solve_seconds,
+        heuristic=heuristic,
+    )

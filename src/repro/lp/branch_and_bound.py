@@ -21,6 +21,12 @@ incumbent exists, the incumbent is returned with
 smallest open relaxation bound is surfaced in ``statistics["best_bound"]``
 (with ``statistics["gap"]`` the absolute incumbent/bound gap).  ``OPTIMAL``
 is only reported once every open node is exhausted or dominated.
+
+The solver accepts a MIP start: ``solve(model, warm_start={name: value})``
+seeds the incumbent with a known feasible assignment (after validating its
+bounds, integrality, and constraints), so re-solves of a model that changed
+only slightly — the adaptation workload of Figure 10 — prune against the
+previous solution from the first node instead of rediscovering it.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 from scipy import optimize
@@ -40,6 +46,7 @@ from .model import Model, StandardForm
 from .result import SolveResult, SolveStatus
 
 _INTEGRALITY_TOLERANCE = 1e-6
+_FEASIBILITY_TOLERANCE = 1e-6
 
 
 @dataclass(order=True)
@@ -55,6 +62,8 @@ class _Node:
 class BranchAndBoundSolver:
     """Best-first branch-and-bound over HiGHS LP relaxations."""
 
+    consumes_warm_starts = True
+
     def __init__(
         self,
         time_limit_seconds: Optional[float] = None,
@@ -65,8 +74,17 @@ class BranchAndBoundSolver:
         self.max_nodes = max_nodes
         self.absolute_gap = absolute_gap
 
-    def solve(self, model: Model) -> SolveResult:
-        """Solve the model; falls back to a single LP solve when it has no integers."""
+    def solve(
+        self, model: Model, warm_start: Optional[Mapping[str, float]] = None
+    ) -> SolveResult:
+        """Solve the model; falls back to a single LP solve when it has no integers.
+
+        ``warm_start`` maps variable names to a candidate assignment
+        (missing variables default to their lower bound).  A start that
+        passes the bounds/integrality/constraint check becomes the initial
+        incumbent; an invalid start is dropped and recorded in
+        ``statistics["warm_start_rejected"]``.
+        """
         form = model.to_standard_form()
         started = time.perf_counter()
         integer_indices = [
@@ -77,6 +95,16 @@ class BranchAndBoundSolver:
 
         incumbent: Optional[np.ndarray] = None
         incumbent_objective = math.inf
+        warm_start_used = 0.0
+        warm_start_rejected = 0.0
+        if warm_start is not None:
+            seeded = self._validate_start(form, warm_start, lower, upper)
+            if seeded is not None:
+                incumbent = seeded
+                incumbent_objective = float(form.c @ seeded)
+                warm_start_used = 1.0
+            else:
+                warm_start_rejected = 1.0
         explored = 0
         counter = itertools.count()
 
@@ -138,6 +166,11 @@ class BranchAndBoundSolver:
                 )
 
         elapsed = time.perf_counter() - started
+        start_stats = {}
+        if warm_start_used:
+            start_stats["warm_start_used"] = warm_start_used
+        if warm_start_rejected:
+            start_stats["warm_start_rejected"] = warm_start_rejected
         if incumbent is None:
             # The search ran to exhaustion without an integer-feasible point.
             # (An interrupted search without an incumbent cannot conclude
@@ -146,7 +179,7 @@ class BranchAndBoundSolver:
             # outcome either way.)
             return SolveResult(
                 status=SolveStatus.ERROR if interrupted else SolveStatus.INFEASIBLE,
-                statistics={"nodes": explored, "solve_seconds": elapsed},
+                statistics={"nodes": explored, "solve_seconds": elapsed, **start_stats},
             )
         values = {
             variable: float(value) for variable, value in zip(form.variables, incumbent)
@@ -177,10 +210,55 @@ class BranchAndBoundSolver:
                 "solve_seconds": elapsed,
                 "best_bound": best_bound,
                 "gap": abs(objective_value - best_bound),
+                **start_stats,
             },
         )
 
     # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _validate_start(
+        form: StandardForm,
+        warm_start: Mapping[str, float],
+        lower: np.ndarray,
+        upper: np.ndarray,
+    ) -> Optional[np.ndarray]:
+        """Turn a named warm start into a feasible point, or ``None``.
+
+        Missing variables default to their lower bound; the candidate must
+        respect bounds, integrality, and every constraint row to become the
+        initial incumbent (an optimistic but infeasible start would silently
+        prune the true optimum otherwise).
+        """
+        point = lower.copy()
+        for position, variable in enumerate(form.variables):
+            value = warm_start.get(variable.name)
+            if value is not None:
+                point[position] = float(value)
+        if not np.all(np.isfinite(point)):
+            # A variable with an infinite lower bound missing from the start
+            # (or an explicit non-finite value) would poison the incumbent
+            # objective and disable pruning.
+            return None
+        if np.any(point < lower - _FEASIBILITY_TOLERANCE) or np.any(
+            point > upper + _FEASIBILITY_TOLERANCE
+        ):
+            return None
+        integer_mask = form.integrality.astype(bool)
+        if integer_mask.any():
+            rounded = np.round(point[integer_mask])
+            if np.max(np.abs(point[integer_mask] - rounded), initial=0.0) > _INTEGRALITY_TOLERANCE:
+                return None
+            point[integer_mask] = rounded
+        if form.b_ub.size and np.any(
+            form.a_ub @ point > form.b_ub + _FEASIBILITY_TOLERANCE
+        ):
+            return None
+        if form.b_eq.size and np.any(
+            np.abs(form.a_eq @ point - form.b_eq) > _FEASIBILITY_TOLERANCE
+        ):
+            return None
+        return point
 
     @staticmethod
     def _solve_relaxation(

@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -28,22 +28,29 @@ class Objective(enum.Enum):
 
 @dataclass
 class StandardForm:
-    """Dense standard-form data ready for SciPy.
+    """Standard-form data ready for SciPy.
 
     Minimise ``c @ x`` subject to ``A_ub @ x <= b_ub``, ``A_eq @ x == b_eq``,
     and per-variable bounds; ``integrality`` is 1 for integer variables.
     The objective sign is already flipped for maximisation models.
+
+    ``a_ub`` / ``a_eq`` are dense ``np.ndarray`` matrices by default, or
+    ``scipy.sparse.csr_matrix`` when the form was exported with
+    ``sparse=True`` (``is_sparse`` records which).  HiGHS accepts either
+    layout; the sparse one keeps memory linear in the number of non-zeros,
+    which is what lets large fat-tree provisioning models fit in RAM.
     """
 
     variables: List[Variable]
     c: np.ndarray
-    a_ub: np.ndarray
+    a_ub: "np.ndarray"
     b_ub: np.ndarray
-    a_eq: np.ndarray
+    a_eq: "np.ndarray"
     b_eq: np.ndarray
     bounds: List[Tuple[float, float]]
     integrality: np.ndarray
     maximize: bool
+    is_sparse: bool = False
 
 
 class Model:
@@ -91,6 +98,25 @@ class Model:
         except KeyError:
             raise SolverError(f"unknown variable {name!r}") from None
 
+    def remove_variable(self, variable: Union[Variable, str]) -> None:
+        """Unregister a variable (by object or name), freeing its name.
+
+        The caller is responsible for splicing the variable out of every
+        constraint and the objective first (see
+        :meth:`~repro.lp.expr.LinExpr.remove_term`); a dangling reference is
+        caught by :meth:`to_standard_form`, which refuses to export
+        constraints over unknown variables.
+        """
+        name = variable.name if isinstance(variable, Variable) else variable
+        if name not in self._variables:
+            raise SolverError(f"unknown variable {name!r}")
+        del self._variables[name]
+
+    def remove_variables(self, variables: Iterable[Union[Variable, str]]) -> None:
+        """Unregister several variables at once."""
+        for variable in variables:
+            self.remove_variable(variable)
+
     def num_variables(self) -> int:
         return len(self._variables)
 
@@ -109,6 +135,31 @@ class Model:
             constraint.name = name
         self._constraints.append(constraint)
         return constraint
+
+    def remove_constraint(self, constraint: Constraint) -> None:
+        """Unregister one constraint (matched by object identity)."""
+        for position, existing in enumerate(self._constraints):
+            if existing is constraint:
+                del self._constraints[position]
+                return
+        raise SolverError(
+            f"constraint {constraint.name or str(constraint)!r} is not in the model"
+        )
+
+    def remove_constraints(self, constraints: Iterable[Constraint]) -> None:
+        """Unregister several constraints in one pass over the row list.
+
+        Removal is by object identity, so incremental callers that kept the
+        handles returned by :meth:`add_constraint` can retract a statement's
+        rows in O(total rows) rather than O(rows removed x total rows).
+        """
+        doomed = {id(constraint) for constraint in constraints}
+        if not doomed:
+            return
+        kept = [c for c in self._constraints if id(c) not in doomed]
+        if len(kept) != len(self._constraints) - len(doomed):
+            raise SolverError("some constraints to remove are not in the model")
+        self._constraints = kept
 
     def constraints(self) -> List[Constraint]:
         return list(self._constraints)
@@ -143,15 +194,19 @@ class Model:
 
     # -- standard form ----------------------------------------------------------
 
-    def to_standard_form(self) -> StandardForm:
-        """Export the model as dense matrices for SciPy's solvers.
+    def to_standard_form(self, sparse: bool = False) -> StandardForm:
+        """Export the model as matrices for SciPy's solvers.
 
         Matrix assembly is vectorized: constraints are flattened into
-        coordinate triplets ``(row, column, value)`` in one pass and scattered
-        into the dense matrices with ``np.add.at`` (which accumulates
-        duplicate coordinates exactly like the per-row ``+=`` of a scalar
-        build), instead of materialising one dense numpy row per constraint
-        and stacking them.
+        coordinate triplets ``(row, column, value)`` in one pass.  With
+        ``sparse=False`` the triplets are scattered into dense matrices with
+        ``np.add.at`` (which accumulates duplicate coordinates exactly like
+        the per-row ``+=`` of a scalar build).  With ``sparse=True`` the same
+        triplets become ``scipy.sparse`` COO matrices (which also sum
+        duplicates) converted to CSR, so memory stays proportional to the
+        number of non-zeros instead of rows x columns — the dense export of
+        a fat-tree provisioning MIP grows quadratically and becomes the
+        memory bound long before the solver does.
         """
         variables = self.variables()
         index = {variable: position for position, variable in enumerate(variables)}
@@ -159,7 +214,12 @@ class Model:
 
         c = np.zeros(num_vars)
         for variable, coefficient in self._objective.coefficients.items():
-            c[index[variable]] += coefficient
+            position = index.get(variable)
+            if position is None:
+                raise SolverError(
+                    f"objective references variable {variable.name!r} not in model"
+                )
+            c[position] += coefficient
         maximize = self._direction is Objective.MAXIMIZE
         if maximize:
             c = -c
@@ -194,12 +254,24 @@ class Model:
             else:
                 ub_rhs.append(sign * rhs)
 
-        a_ub = np.zeros((len(ub_rhs), num_vars))
-        if ub_coords[0]:
-            np.add.at(a_ub, (ub_coords[0], ub_coords[1]), ub_coords[2])
-        a_eq = np.zeros((len(eq_rhs), num_vars))
-        if eq_coords[0]:
-            np.add.at(a_eq, (eq_coords[0], eq_coords[1]), eq_coords[2])
+        if sparse:
+            from scipy import sparse as sp
+
+            a_ub = sp.coo_matrix(
+                (ub_coords[2], (ub_coords[0], ub_coords[1])),
+                shape=(len(ub_rhs), num_vars),
+            ).tocsr()
+            a_eq = sp.coo_matrix(
+                (eq_coords[2], (eq_coords[0], eq_coords[1])),
+                shape=(len(eq_rhs), num_vars),
+            ).tocsr()
+        else:
+            a_ub = np.zeros((len(ub_rhs), num_vars))
+            if ub_coords[0]:
+                np.add.at(a_ub, (ub_coords[0], ub_coords[1]), ub_coords[2])
+            a_eq = np.zeros((len(eq_rhs), num_vars))
+            if eq_coords[0]:
+                np.add.at(a_eq, (eq_coords[0], eq_coords[1]), eq_coords[2])
         bounds = [(variable.lower, variable.upper) for variable in variables]
         integrality = np.array(
             [1 if variable.is_integer else 0 for variable in variables], dtype=int
@@ -214,17 +286,28 @@ class Model:
             bounds=bounds,
             integrality=integrality,
             maximize=maximize,
+            is_sparse=sparse,
         )
 
     # -- solving -----------------------------------------------------------------
 
-    def solve(self, solver=None):
-        """Solve the model with the given backend (SciPy/HiGHS by default)."""
+    def solve(self, solver=None, warm_start: Optional[Mapping[str, float]] = None):
+        """Solve the model with the given backend (SciPy/HiGHS by default).
+
+        ``warm_start`` optionally maps variable names to a known (partial)
+        feasible assignment — a MIP start.  Backends that support starts
+        (:class:`~repro.lp.branch_and_bound.BranchAndBoundSolver`) seed their
+        incumbent from it; backends whose ``solve`` takes no ``warm_start``
+        parameter (including third-party ones written against the plain
+        ``solve(model)`` protocol) are called without it.
+        """
         if solver is None:
             from .scipy_backend import ScipySolver
 
             solver = ScipySolver()
-        return solver.solve(self)
+        if warm_start is None or not _accepts_warm_start(solver):
+            return solver.solve(self)
+        return solver.solve(self, warm_start=warm_start)
 
     def objective_value(self, assignment) -> float:
         """Evaluate the objective under an assignment (model direction applied)."""
@@ -235,3 +318,17 @@ class Model:
             f"Model({self.name!r}, variables={self.num_variables()}, "
             f"integer={self.num_integer_variables()}, constraints={self.num_constraints()})"
         )
+
+
+def _accepts_warm_start(solver) -> bool:
+    """Whether a backend's ``solve`` can receive the ``warm_start`` keyword."""
+    import inspect
+
+    try:
+        parameters = inspect.signature(solver.solve).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    return "warm_start" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )

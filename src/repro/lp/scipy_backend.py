@@ -5,12 +5,25 @@ variables to ``scipy.optimize.milp`` — both are thin wrappers over the HiGHS
 solver, which (like the Gurobi solver used in the paper) is an exact
 branch-and-cut MIP solver, so the path assignments it produces satisfy the
 same constraint system the paper describes.
+
+The backend exports models in sparse standard form by default
+(``Model.to_standard_form(sparse=True)``): HiGHS consumes CSR directly, and
+the dense export of a large fat-tree provisioning MIP is memory-bound long
+before the solver is CPU-bound.  MIP diagnostics reported by HiGHS (dual
+bound, node count, relative gap) are surfaced in ``SolveResult.statistics``
+under the same keys the branch-and-bound backend uses, so callers can report
+the MIP gap of ``FEASIBLE`` (time-limited) solves uniformly.
+
+``scipy.optimize.milp`` has no MIP-start plumbing, so ``warm_start`` is
+accepted for interface compatibility and recorded as ignored; use
+:class:`~repro.lp.branch_and_bound.BranchAndBoundSolver` when warm starts
+must actually seed the search.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 from scipy import optimize, sparse
@@ -22,13 +35,26 @@ from .result import SolveResult, SolveStatus
 class ScipySolver:
     """Solve :class:`~repro.lp.model.Model` instances with SciPy/HiGHS."""
 
-    def __init__(self, time_limit_seconds: Optional[float] = None, mip_gap: float = 1e-6) -> None:
+    # scipy.optimize.milp has no MIP-start plumbing: a warm_start passed to
+    # solve() is recorded as ignored.  Callers that pay to *compute* starts
+    # (the incremental engine's incumbent projection) check this flag first.
+    consumes_warm_starts = False
+
+    def __init__(
+        self,
+        time_limit_seconds: Optional[float] = None,
+        mip_gap: float = 1e-6,
+        sparse: bool = True,
+    ) -> None:
         self.time_limit_seconds = time_limit_seconds
         self.mip_gap = mip_gap
+        self.sparse = sparse
 
-    def solve(self, model: Model) -> SolveResult:
+    def solve(
+        self, model: Model, warm_start: Optional[Mapping[str, float]] = None
+    ) -> SolveResult:
         """Solve the model, returning a :class:`SolveResult`."""
-        form = model.to_standard_form()
+        form = model.to_standard_form(sparse=self.sparse)
         started = time.perf_counter()
         if form.integrality.any():
             result = self._solve_milp(form)
@@ -37,6 +63,10 @@ class ScipySolver:
         result.statistics["solve_seconds"] = time.perf_counter() - started
         result.statistics["num_variables"] = len(form.variables)
         result.statistics["num_integer_variables"] = int(form.integrality.sum())
+        if warm_start is not None:
+            # HiGHS-via-scipy cannot consume MIP starts; record the fact so
+            # benchmarks comparing backends can see the start was dropped.
+            result.statistics["warm_start_ignored"] = 1.0
         return result
 
     # -- internals -------------------------------------------------------------
@@ -44,9 +74,9 @@ class ScipySolver:
     def _solve_lp(self, form: StandardForm) -> SolveResult:
         outcome = optimize.linprog(
             c=form.c,
-            A_ub=form.a_ub if form.a_ub.size else None,
+            A_ub=form.a_ub if form.b_ub.size else None,
             b_ub=form.b_ub if form.b_ub.size else None,
-            A_eq=form.a_eq if form.a_eq.size else None,
+            A_eq=form.a_eq if form.b_eq.size else None,
             b_eq=form.b_eq if form.b_eq.size else None,
             bounds=form.bounds,
             method="highs",
@@ -55,17 +85,17 @@ class ScipySolver:
 
     def _solve_milp(self, form: StandardForm) -> SolveResult:
         constraints = []
-        if form.a_ub.size:
+        if form.b_ub.size:
+            a_ub = form.a_ub if form.is_sparse else sparse.csr_matrix(form.a_ub)
             constraints.append(
                 optimize.LinearConstraint(
-                    sparse.csr_matrix(form.a_ub), -np.inf * np.ones(len(form.b_ub)), form.b_ub
+                    a_ub, -np.inf * np.ones(len(form.b_ub)), form.b_ub
                 )
             )
-        if form.a_eq.size:
+        if form.b_eq.size:
+            a_eq = form.a_eq if form.is_sparse else sparse.csr_matrix(form.a_eq)
             constraints.append(
-                optimize.LinearConstraint(
-                    sparse.csr_matrix(form.a_eq), form.b_eq, form.b_eq
-                )
+                optimize.LinearConstraint(a_eq, form.b_eq, form.b_eq)
             )
         lower = np.array([bound[0] for bound in form.bounds], dtype=float)
         upper = np.array([bound[1] for bound in form.bounds], dtype=float)
@@ -79,7 +109,30 @@ class ScipySolver:
             integrality=form.integrality,
             options=options,
         )
-        return self._wrap(form, outcome.status, outcome.x, outcome.fun)
+        result = self._wrap(form, outcome.status, outcome.x, outcome.fun)
+        self._record_mip_diagnostics(form, outcome, result)
+        return result
+
+    @staticmethod
+    def _record_mip_diagnostics(
+        form: StandardForm, outcome, result: SolveResult
+    ) -> None:
+        """Copy HiGHS branch-and-cut diagnostics into the result statistics.
+
+        Keys mirror the pure-Python branch-and-bound backend: ``nodes``,
+        ``best_bound`` (sign-adjusted for maximisation models), and ``gap``
+        (absolute incumbent/bound distance).
+        """
+        nodes = getattr(outcome, "mip_node_count", None)
+        if nodes is not None:
+            result.statistics["nodes"] = float(nodes)
+        bound = getattr(outcome, "mip_dual_bound", None)
+        if bound is not None and result.objective is not None:
+            best_bound = float(bound)
+            if form.maximize:
+                best_bound = -best_bound
+            result.statistics["best_bound"] = best_bound
+            result.statistics["gap"] = abs(result.objective - best_bound)
 
     @staticmethod
     def _wrap(form: StandardForm, status_code: int, solution, objective) -> SolveResult:

@@ -1,0 +1,279 @@
+"""Tests for the incremental re-provisioning engine (delta compilation)."""
+
+import pytest
+
+from repro.core.localization import localize
+from repro.core.logical import build_logical_topology, infer_endpoints
+from repro.core.parser import parse_policy
+from repro.core.preprocessor import preprocess
+from repro.core.provisioning import build_provisioning_model, provision
+from repro.errors import ProvisioningError
+from repro.experiments.reprovisioning import pod_tenant_scenario
+from repro.incremental import IncrementalProvisioner
+from repro.lp import BranchAndBoundSolver
+from repro.topology.generators import figure2_example
+from repro.units import Bandwidth
+
+SOURCE = """
+[ x : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 20) -> .* dpi .* ;
+  z : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 80) -> .* dpi .* nat .* ],
+min(x, 50MB/s) and min(z, 100MB/s)
+"""
+PLACEMENTS = {"dpi": ("h1", "h2", "m1"), "nat": ("m1",)}
+
+
+def _figure2_inputs():
+    topology = figure2_example(capacity=Bandwidth.gbps(2))
+    policy = preprocess(
+        parse_policy(SOURCE, topology=topology), overlap="trust", add_catch_all=False
+    ).policy
+    rates = localize(policy)
+    logical = {}
+    for statement in policy.statements:
+        source, destination = infer_endpoints(statement, topology)
+        logical[statement.identifier] = build_logical_topology(
+            statement, topology, PLACEMENTS, source=source, destination=destination
+        )
+    return topology, policy, rates, logical
+
+
+def _engine(topology, policy, rates, logical, **kwargs):
+    engine = IncrementalProvisioner(topology, PLACEMENTS, **kwargs)
+    for statement in policy.statements:
+        engine.add_statement(
+            statement,
+            rates[statement.identifier].guarantee,
+            logical=logical[statement.identifier],
+        )
+    return engine
+
+def _paths(result):
+    return {identifier: p.path for identifier, p in result.paths.items()}
+
+
+def _reservations(result):
+    return {key: value.bps_value for key, value in result.link_reservations.items()}
+
+
+def _canonical(model):
+    constraints = {}
+    for constraint in model.constraints():
+        constraints[constraint.name] = (
+            tuple(
+                sorted(
+                    (variable.name, coefficient)
+                    for variable, coefficient in constraint.expression.coefficients.items()
+                )
+            ),
+            constraint.expression.constant,
+            constraint.sense.value,
+        )
+    objective = tuple(
+        sorted(
+            (variable.name, coefficient)
+            for variable, coefficient in model.objective.coefficients.items()
+        )
+    )
+    variables = tuple(
+        sorted(
+            (v.name, v.lower, v.upper, v.is_integer) for v in model.variables()
+        )
+    )
+    return constraints, objective, variables
+
+
+class TestDeltaOperations:
+    def test_resolve_matches_from_scratch_provision(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        incremental = engine.resolve()
+        full = provision(policy.statements, logical, rates, topology, PLACEMENTS)
+        assert _paths(incremental) == _paths(full)
+        assert _reservations(incremental) == _reservations(full)
+
+    def test_remove_then_matches_reduced_provision(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        engine.resolve()
+        engine.remove_statement("z")
+        incremental = engine.resolve()
+        reduced = provision(
+            policy.statements[:1], logical, rates, topology, PLACEMENTS
+        )
+        assert _paths(incremental) == _paths(reduced)
+        assert _reservations(incremental) == _reservations(reduced)
+
+    def test_update_rates_changes_reservation(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        before = engine.resolve()
+        engine.update_rates("x", Bandwidth.mb_per_sec(25))
+        after = engine.resolve()
+        # Both statements enter at h1, so the h1-s1 reservation drops by
+        # exactly the guarantee reduction (25 MB/s = 200 Mbps).
+        key = ("h1", "s1")
+        assert before.link_reservations[key].bps_value - after.link_reservations[
+            key
+        ].bps_value == pytest.approx(Bandwidth.mb_per_sec(25).bps_value)
+        assert after.paths["x"].guaranteed_rate == Bandwidth.mb_per_sec(25)
+
+    def test_readd_after_remove_reuses_identifier(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        engine.resolve()
+        engine.remove_statement("z")
+        engine.add_statement(
+            policy.statements[1], rates["z"].guarantee, logical=logical["z"]
+        )
+        again = engine.resolve()
+        full = provision(policy.statements, logical, rates, topology, PLACEMENTS)
+        assert _paths(again) == _paths(full)
+
+    def test_empty_engine_resolves_empty(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = IncrementalProvisioner(topology, PLACEMENTS)
+        result = engine.resolve()
+        assert result.paths == {}
+        assert result.num_partitions == 0
+
+    def test_duplicate_add_rejected(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        with pytest.raises(ProvisioningError):
+            engine.add_statement(
+                policy.statements[0], rates["x"].guarantee, logical=logical["x"]
+            )
+
+    def test_unknown_remove_and_update_rejected(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = IncrementalProvisioner(topology, PLACEMENTS)
+        with pytest.raises(ProvisioningError):
+            engine.remove_statement("ghost")
+        with pytest.raises(ProvisioningError):
+            engine.update_rates("ghost", Bandwidth.mbps(1))
+
+    def test_non_positive_guarantee_rejected(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = IncrementalProvisioner(topology, PLACEMENTS)
+        with pytest.raises(ProvisioningError):
+            engine.add_statement(policy.statements[0], Bandwidth(0.0))
+
+
+class TestLiveModelSplicing:
+    def test_spliced_model_equals_fresh_build(self):
+        """After any splice history the live model must be coefficient-
+        identical (up to row/column order) to a from-scratch build of the
+        current statements."""
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        # Churn: remove, re-add, update rates.
+        engine.remove_statement("z")
+        engine.add_statement(
+            policy.statements[1], rates["z"].guarantee, logical=logical["z"]
+        )
+        engine.update_rates("x", Bandwidth.mb_per_sec(40))
+        engine.sync_objective()
+
+        current_rates = {
+            identifier: engine.rates_for(identifier)
+            for identifier in engine.statement_ids()
+        }
+        fresh = build_provisioning_model(
+            list(policy.statements), logical, current_rates, topology
+        )
+        assert _canonical(engine.live_model) == _canonical(fresh.model)
+
+    def test_solve_live_agrees_with_resolve(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        resolved = engine.resolve()
+        live = engine.solve_live()
+        assert live.status.has_solution
+        # The live (monolithic) model's r_max equals the merged maximum.
+        assert live.value_of(
+            engine.live_model.variable("r_max")
+        ) == pytest.approx(resolved.max_utilization, abs=1e-6)
+
+
+class TestCachingAndPartitions:
+    def test_clean_resolve_reuses_everything(self):
+        scenario = pod_tenant_scenario(arity=4, pairs_per_pod=1)
+        engine = IncrementalProvisioner(scenario.topology)
+        rates = localize(scenario.policy)
+        for statement in scenario.policy.statements:
+            engine.add_statement(statement, rates[statement.identifier].guarantee)
+        first = engine.resolve()
+        assert first.num_partitions == 4
+        assert first.solve_statistics["partitions_dirty"] == 4.0
+        second = engine.resolve()
+        assert second.solve_statistics["partitions_dirty"] == 0.0
+        assert second.solve_statistics["partitions_reused"] == 4.0
+        assert _paths(second) == _paths(first)
+
+    def test_update_dirties_only_its_partition(self):
+        scenario = pod_tenant_scenario(arity=4, pairs_per_pod=1)
+        engine = IncrementalProvisioner(scenario.topology)
+        rates = localize(scenario.policy)
+        for statement in scenario.policy.statements:
+            engine.add_statement(statement, rates[statement.identifier].guarantee)
+        engine.resolve()
+        engine.update_rates("p0s0", Bandwidth.mbps(25))
+        result = engine.resolve()
+        assert result.solve_statistics["partitions_dirty"] == 1.0
+        assert result.solve_statistics["partitions_reused"] == 3.0
+
+    def test_process_pool_matches_serial(self):
+        scenario = pod_tenant_scenario(arity=4, pairs_per_pod=1)
+        rates = localize(scenario.policy)
+        serial = IncrementalProvisioner(scenario.topology, max_workers=0)
+        pooled = IncrementalProvisioner(scenario.topology, max_workers=2)
+        for statement in scenario.policy.statements:
+            serial.add_statement(statement, rates[statement.identifier].guarantee)
+            pooled.add_statement(statement, rates[statement.identifier].guarantee)
+        serial_result = serial.resolve()
+        pooled_result = pooled.resolve()
+        assert _paths(pooled_result) == _paths(serial_result)
+        assert _reservations(pooled_result) == _reservations(serial_result)
+
+    def test_prime_from_full_provisioning(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        full = provision(policy.statements, logical, rates, topology, PLACEMENTS)
+        engine = _engine(topology, policy, rates, logical)
+        adopted = engine.prime(full.partition_solutions)
+        assert adopted == full.num_partitions
+        result = engine.resolve()
+        assert result.solve_statistics["partitions_dirty"] == 0.0
+        assert _paths(result) == _paths(full)
+
+
+class TestIncumbentHygiene:
+    def test_removed_statement_values_pruned(self):
+        """remove_statement drops the statement's incumbent values so a
+        re-add under the same identifier can never project stale edges."""
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        engine.resolve()
+        assert any(name.startswith("x__z__") for name in engine._last_values)
+        engine.remove_statement("z")
+        assert not any(name.startswith("x__z__") for name in engine._last_values)
+
+
+class TestWarmStartedResolve:
+    def test_branch_and_bound_consumes_projected_incumbent(self):
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(
+            topology, policy, rates, logical, solver=BranchAndBoundSolver()
+        )
+        engine.resolve()
+        # A rate decrease keeps the previous paths feasible: the projected
+        # incumbent must be accepted by the solver.
+        engine.update_rates("z", Bandwidth.mb_per_sec(80))
+        result = engine.resolve()
+        (solution,) = [
+            s for s in result.partition_solutions if "z" in s.spec.statement_ids
+        ]
+        assert solution.statistics.get("warm_start_used") == 1.0

@@ -1,0 +1,214 @@
+"""Tests for the sparse standard form, warm starts, and model row removal."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.lp import (
+    BranchAndBoundSolver,
+    LinExpr,
+    Model,
+    ScipySolver,
+    SolveStatus,
+    Variable,
+)
+
+
+def _knapsack():
+    model = Model()
+    values = [10, 13, 7, 8]
+    weights = [3, 4, 2, 3]
+    xs = [model.add_binary(f"x{i}") for i in range(4)]
+    model.add_constraint(LinExpr.sum_of(w * x for w, x in zip(weights, xs)) <= 6)
+    model.add_constraint((xs[0] + xs[1] + xs[2] + xs[3]) <= 3)
+    model.maximize(LinExpr.sum_of(v * x for v, x in zip(values, xs)))
+    return model, xs
+
+
+class TestSparseStandardForm:
+    def test_sparse_matches_dense(self):
+        model, _ = _knapsack()
+        dense = model.to_standard_form()
+        sparse = model.to_standard_form(sparse=True)
+        assert not dense.is_sparse and sparse.is_sparse
+        assert np.array_equal(sparse.a_ub.toarray(), dense.a_ub)
+        assert np.array_equal(sparse.b_ub, dense.b_ub)
+        assert np.array_equal(sparse.c, dense.c)
+        assert sparse.bounds == dense.bounds
+
+    def test_sparse_accumulates_duplicate_terms(self):
+        # A variable appearing twice in one row must sum, exactly like the
+        # dense np.add.at scatter.
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        expression = LinExpr().add_term(x, 1.0).add_term(x, 2.5)
+        model.add_constraint(expression <= 7)
+        model.minimize(x)
+        dense = model.to_standard_form()
+        sparse = model.to_standard_form(sparse=True)
+        assert np.array_equal(sparse.a_ub.toarray(), dense.a_ub)
+        assert dense.a_ub[0, 0] == 3.5
+
+    def test_equality_rows_sparse(self):
+        model = Model()
+        x = model.add_continuous("x", 0, 10)
+        y = model.add_continuous("y", 0, 10)
+        model.add_constraint((x + y).equals(4))
+        model.minimize(x - y)
+        sparse = model.to_standard_form(sparse=True)
+        assert sparse.a_eq.shape == (1, 2)
+        assert np.array_equal(sparse.a_eq.toarray(), [[1.0, 1.0]])
+
+    def test_solver_results_identical_between_layouts(self):
+        model, _ = _knapsack()
+        dense_result = ScipySolver(sparse=False).solve(model)
+        sparse_result = ScipySolver(sparse=True).solve(model)
+        assert dense_result.objective == sparse_result.objective == 20.0
+        assert dense_result.values_by_name() == sparse_result.values_by_name()
+
+    def test_milp_diagnostics_surfaced(self):
+        model, _ = _knapsack()
+        result = ScipySolver().solve(model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert "nodes" in result.statistics
+        assert result.statistics.get("best_bound") == pytest.approx(20.0)
+        assert result.statistics.get("gap") == pytest.approx(0.0, abs=1e-6)
+
+
+class TestWarmStart:
+    def test_valid_start_seeds_incumbent(self):
+        model, _ = _knapsack()
+        optimal = ScipySolver().solve(model)
+        start = optimal.values_by_name()
+        result = BranchAndBoundSolver().solve(model, warm_start=start)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(optimal.objective)
+        assert result.statistics["warm_start_used"] == 1.0
+
+    def test_infeasible_start_rejected_not_trusted(self):
+        model, _ = _knapsack()
+        # Selecting every item violates the weight budget.
+        bad = {f"x{i}": 1.0 for i in range(4)}
+        result = BranchAndBoundSolver().solve(model, warm_start=bad)
+        assert result.statistics["warm_start_rejected"] == 1.0
+        assert result.objective == pytest.approx(20.0)
+
+    def test_fractional_start_rejected_for_integers(self):
+        model, _ = _knapsack()
+        result = BranchAndBoundSolver().solve(
+            model, warm_start={"x0": 0.5, "x1": 0.0, "x2": 0.0, "x3": 0.0}
+        )
+        assert result.statistics["warm_start_rejected"] == 1.0
+
+    def test_scipy_backend_records_ignored_start(self):
+        model, _ = _knapsack()
+        result = ScipySolver().solve(model, warm_start={"x0": 1.0})
+        assert result.statistics["warm_start_ignored"] == 1.0
+        assert result.objective == pytest.approx(20.0)
+
+    def test_model_solve_passes_warm_start_through(self):
+        model, _ = _knapsack()
+        start = ScipySolver().solve(model).values_by_name()
+        result = model.solve(BranchAndBoundSolver(), warm_start=start)
+        assert result.statistics["warm_start_used"] == 1.0
+
+    def test_start_with_unbounded_variable_rejected(self):
+        """A warm start omitting a variable whose lower bound is -inf must
+        be rejected, not seeded as a -inf/NaN incumbent that disables
+        pruning."""
+        import math
+
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_continuous("y", lower=-math.inf)
+        model.add_constraint(y.to_expr() >= -5.0)
+        model.add_constraint(x + y <= 10.0)
+        model.minimize(y + x)
+        result = model.solve(BranchAndBoundSolver(), warm_start={"x": 1.0})
+        assert result.statistics["warm_start_rejected"] == 1.0
+        assert result.objective == pytest.approx(-5.0)
+
+    def test_warm_start_capability_flags(self):
+        """The incremental engine skips incumbent projection for backends
+        that cannot consume MIP starts (the default scipy backend)."""
+        from repro.incremental.solve import solver_consumes_warm_starts
+
+        assert not solver_consumes_warm_starts(None)
+        assert not solver_consumes_warm_starts(ScipySolver())
+        assert solver_consumes_warm_starts(BranchAndBoundSolver())
+
+        class UnknownBackend:  # third-party: keep projecting, probe decides
+            def solve(self, model):
+                raise NotImplementedError
+
+        assert solver_consumes_warm_starts(UnknownBackend())
+
+
+class TestRowAndVariableRemoval:
+    def test_remove_constraint_by_identity(self):
+        model = Model()
+        x = model.add_binary("x")
+        kept = model.add_constraint(x.to_expr() <= 1, name="kept")
+        doomed = model.add_constraint(x.to_expr() >= 0, name="doomed")
+        model.remove_constraint(doomed)
+        assert model.constraints() == [kept]
+        with pytest.raises(SolverError):
+            model.remove_constraint(doomed)
+
+    def test_remove_constraints_bulk(self):
+        model = Model()
+        x = model.add_binary("x")
+        rows = [model.add_constraint(x.to_expr() <= 1) for _ in range(5)]
+        model.remove_constraints(rows[1:4])
+        assert model.num_constraints() == 2
+
+    def test_remove_variable_frees_name(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.remove_variable(x)
+        assert model.num_variables() == 0
+        model.add_binary("x")  # the name is reusable
+
+    def test_dangling_reference_caught_at_export(self):
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.add_constraint(x + y <= 1)
+        model.remove_variable(y)  # constraint still references y
+        with pytest.raises(SolverError):
+            model.to_standard_form()
+
+    def test_remove_unknown_variable_rejected(self):
+        with pytest.raises(SolverError):
+            Model().remove_variable("ghost")
+
+    def test_dangling_objective_reference_caught_at_export(self):
+        model = Model()
+        x = model.add_binary("x")
+        y = model.add_binary("y")
+        model.minimize(x + y)
+        model.remove_variable(y)  # objective still references y
+        with pytest.raises(SolverError, match="objective references"):
+            model.to_standard_form()
+
+
+class TestInPlaceTermEditing:
+    def test_set_term_overwrites(self):
+        x = Variable("x")
+        expression = LinExpr().add_term(x, 2.0)
+        expression.set_term(x, 5.0)
+        assert expression.coefficients[x] == 5.0
+
+    def test_set_term_zero_deletes(self):
+        x = Variable("x")
+        expression = LinExpr().add_term(x, 2.0)
+        expression.set_term(x, 0.0)
+        assert x not in expression.coefficients
+
+    def test_remove_term(self):
+        x, y = Variable("x"), Variable("y")
+        expression = LinExpr().add_term(x, 1.0).add_term(y, 2.0)
+        expression.remove_term(x)
+        assert not expression.has_term(x)
+        assert expression.has_term(y)
+        expression.remove_term(x)  # no-op when absent
