@@ -1,20 +1,29 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench bench-smoke bench-reprovision
+.PHONY: test check bench bench-smoke bench-reprovision
 
 # Tier-1 verification: the full unit + benchmark suite at quick scale.
 test:
 	$(PYTEST) -x -q
 
+# CI gate: tier-1 tests plus a byte-compile of the whole source tree
+# (catches syntax errors in modules the suite does not import).
+check:
+	$(PYTEST) -x -q
+	python -m compileall -q src
+
 # The full benchmark suite (set MERLIN_BENCH_SCALE=full for paper scale).
 bench:
 	$(PYTEST) -q benchmarks
 
-# Fast smoke: the smallest Figure 8 scaling point plus one incremental
-# re-provisioning round trip.
+# Fast smoke: the smallest Figure 8 scaling point, one incremental
+# re-provisioning round trip, and the footprint-tightening partition guard
+# (the pod-tenant workload plus one `.*` statement must keep >= one MIP
+# component per tenant).
 bench-smoke:
 	$(PYTEST) -q benchmarks/test_fig8_scaling.py::test_fig8_smallest_point_smoke \
-		benchmarks/test_fig10b_reprovisioning.py::test_reprovision_smoke
+		benchmarks/test_fig10b_reprovisioning.py::test_reprovision_smoke \
+		benchmarks/test_fig10b_reprovisioning.py::test_footprint_partitioning_smoke
 
 # Figure 10b': incremental re-provisioning latency vs full recompiles
 # (writes benchmarks/results/fig10b_reprovisioning.txt).

@@ -45,7 +45,9 @@ def test_fig10b_reprovisioning(benchmark, report):
     assert all(row.identical for row in rows)
     # ...touch exactly the components the delta touched...
     assert all(row.dirty_partitions == row.delta_size for row in rows)
-    assert all(row.partitions == row.arity for row in rows)
+    # ...and decompose at least one component per pod tenant (footprint
+    # tightening may split a pod's pairs further when they share no links).
+    assert all(row.partitions >= row.arity for row in rows)
     # ...and beat the full compile soundly on small deltas (acceptance: a
     # 1-statement delta on the arity-8 fat tree re-provisions >= 5x faster).
     one_statement = next(row for row in rows if row.delta_size == 1)
@@ -68,3 +70,39 @@ def test_reprovision_smoke():
     assert row.identical
     assert row.dirty_partitions == 1
     assert row.incremental_ms < row.full_ms
+
+
+def test_footprint_partitioning_smoke():
+    """Smoke guard against footprint regressions: the pod-tenant workload
+    plus one unconstrained ``.*`` statement must still decompose into at
+    least one MIP component per tenant (run via ``make bench-smoke``).
+    Without cost-bound tightening the ``.*`` statement's footprint spans
+    every physical link and the partition count collapses to 1."""
+    from repro.core import MerlinCompiler
+    from repro.core.ast import BandwidthTerm, FMin, Policy, formula_and, formula_clauses
+    from repro.experiments.reprovisioning import (
+        pod_tenant_scenario,
+        unconstrained_statement,
+    )
+
+    scenario = pod_tenant_scenario(arity=4, pairs_per_pod=1)
+    wild = unconstrained_statement(scenario)
+    policy = Policy(
+        statements=scenario.policy.statements + (wild,),
+        formula=formula_and(
+            *formula_clauses(scenario.policy.formula),
+            FMin(BandwidthTerm(identifiers=(wild.identifier,)), scenario.guarantee),
+        ),
+    )
+    compiler = MerlinCompiler(
+        topology=scenario.topology,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+    )
+    result = compiler.compile(policy)
+    tenants = len(scenario.pods)
+    assert result.statistics.num_partitions >= tenants, (
+        f"partition count {result.statistics.num_partitions} fell below the "
+        f"{tenants} pod tenants: footprint tightening regressed"
+    )

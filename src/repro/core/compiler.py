@@ -45,7 +45,12 @@ from .localization import LocalRates, localize, localized_formula
 from .logical import LogicalTopology, build_logical_topology, infer_endpoints
 from .parser import parse_policy
 from .preprocessor import DEFAULT_STATEMENT_ID, preprocess
-from .provisioning import PathSelectionHeuristic, ProvisioningResult, provision
+from .provisioning import (
+    DEFAULT_FOOTPRINT_SLACK,
+    PathSelectionHeuristic,
+    ProvisioningResult,
+    provision,
+)
 from .sink_tree import compute_sink_trees
 
 
@@ -75,6 +80,63 @@ class _CompilerSession:
     #: happens to carry that identifier).
     generated_default: bool = False
 
+    def checkpoint(self) -> "_SessionCheckpoint":
+        """Capture the session (and its engine) for a later :meth:`restore`.
+
+        Dict/list copies are shallow: statements, rates, endpoint tuples,
+        logical topologies, path assignments, and sink trees are never
+        mutated in place by the recompile pipeline (collections are only
+        rebound or have entries added/removed), so restoring the copies
+        reinstates the exact pre-delta session.
+        """
+        return _SessionCheckpoint(
+            statements=dict(self.statements),
+            local_rates=dict(self.local_rates),
+            endpoints=dict(self.endpoints),
+            logical_cache=dict(self.logical_cache),
+            guaranteed_logical=dict(self.guaranteed_logical),
+            best_effort_paths=dict(self.best_effort_paths),
+            sink_trees=self.sink_trees,
+            infeasible=list(self.infeasible),
+            provisioning=self.provisioning,
+            generated_default=self.generated_default,
+            engine_checkpoint=(
+                self.engine.checkpoint() if self.engine is not None else None
+            ),
+        )
+
+    def restore(self, saved: "_SessionCheckpoint") -> None:
+        """Roll the session (and its engine) back to a :meth:`checkpoint`."""
+        self.statements = dict(saved.statements)
+        self.local_rates = dict(saved.local_rates)
+        self.endpoints = dict(saved.endpoints)
+        self.logical_cache = dict(saved.logical_cache)
+        self.guaranteed_logical = dict(saved.guaranteed_logical)
+        self.best_effort_paths = dict(saved.best_effort_paths)
+        self.sink_trees = saved.sink_trees
+        self.infeasible = list(saved.infeasible)
+        self.provisioning = saved.provisioning
+        self.generated_default = saved.generated_default
+        if self.engine is not None and saved.engine_checkpoint is not None:
+            self.engine.restore(saved.engine_checkpoint)
+
+
+@dataclass(frozen=True)
+class _SessionCheckpoint:
+    """A shadow snapshot of a :class:`_CompilerSession` (see ``checkpoint``)."""
+
+    statements: Dict[str, Statement]
+    local_rates: Dict[str, LocalRates]
+    endpoints: Dict[str, Tuple[Optional[str], Optional[str]]]
+    logical_cache: Dict
+    guaranteed_logical: Dict[str, LogicalTopology]
+    best_effort_paths: Dict[str, PathAssignment]
+    sink_trees: Dict
+    infeasible: List[str]
+    provisioning: ProvisioningResult
+    generated_default: bool
+    engine_checkpoint: Optional[object]
+
 
 @dataclass
 class MerlinCompiler:
@@ -87,7 +149,10 @@ class MerlinCompiler:
     predicates, and ``generate_code`` can be disabled for pure provisioning
     benchmarks.  ``max_solver_workers`` > 1 lets both the full compile and
     the incremental engine solve link-disjoint MIP components in a process
-    pool.
+    pool.  ``footprint_slack`` controls cost-bound footprint tightening in
+    both paths (extra physical hops over each statement's optimum; ``None``
+    disables it) — tightening is what keeps unconstrained ``.*`` paths from
+    collapsing the partition decomposition into one MIP component.
     """
 
     topology: Topology
@@ -99,6 +164,7 @@ class MerlinCompiler:
     localization_weights: Optional[Mapping[str, float]] = None
     solver: Optional[object] = None
     max_solver_workers: int = 0
+    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK
     _session: Optional[_CompilerSession] = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -170,6 +236,7 @@ class MerlinCompiler:
             heuristic=self.heuristic,
             solver=self.solver,
             max_workers=self.max_solver_workers,
+            footprint_slack=self.footprint_slack,
         )
         lp_construction_seconds += provisioning.lp_construction_seconds
 
@@ -279,13 +346,16 @@ class MerlinCompiler:
         refused because earlier-statement subtraction is baked into later
         predicates), and the generated catch-all statement's remainder
         predicate is recomputed whenever the statement population changes.
-        Raises :class:`ProvisioningError` if the delta makes provisioning
-        infeasible; the session is not transactional, so any failure after
-        mutation begins (an infeasible solve, a code-generation error)
-        invalidates it (``has_session`` becomes False) and the compiler
-        must be re-seeded with a full :meth:`compile`.  A delta rejected by
-        validation (unknown identifiers, overlap violations, unprovisionable
-        guarantees) leaves the session intact.
+
+        Every recompile is a *transaction*: the delta applies against a
+        shadow checkpoint of the session (and its engine), commits on
+        successful solve + code generation, and rolls back on **any**
+        failure — a delta rejected by validation (unknown identifiers,
+        overlap violations, unprovisionable guarantees), an infeasible
+        solve, or a code-generation error all leave the session usable and
+        byte-equivalent to one that never saw the delta (the error still
+        propagates, e.g. :class:`ProvisioningError` for infeasibility).
+        ``has_session`` stays True; the next recompile works normally.
         """
         if self._session is None:
             raise ProvisioningError(
@@ -302,6 +372,7 @@ class MerlinCompiler:
         session = self._session
         prepared_adds = self._validate_delta(session, delta)
         engine = self._ensure_engine(session)
+        saved = session.checkpoint()
 
         rateless_seconds = 0.0
         try:
@@ -345,14 +416,16 @@ class MerlinCompiler:
                 )
                 codegen_seconds = time.perf_counter() - codegen_start
         except Exception:
-            # The delta was already applied to the session/live model when
-            # the failure surfaced (an infeasible solve, a code-generation
-            # error), so the session no longer matches any result a caller
-            # successfully received.  Drop it: the next recompile() fails
-            # loudly instead of silently provisioning the poisoned
-            # statement set, and callers that roll back on error (the
-            # negotiator) cannot diverge from a half-updated session.
-            self._session = None
+            # The delta was already applied to the session/engine when the
+            # failure surfaced (an infeasible solve, a code-generation
+            # error).  Roll back to the checkpoint: the session is restored
+            # to its exact pre-delta state — statement population, rates,
+            # sink trees, cached component solutions, incumbents, revision
+            # counter — so it keeps matching the last result the caller
+            # successfully received, and the next recompile() proceeds
+            # normally.  Callers that withdraw on error (the negotiator)
+            # need only revert their own policy.
+            session.restore(saved)
             raise
 
         guaranteed = [
@@ -418,10 +491,12 @@ class MerlinCompiler:
         """Eagerly build the incremental engine for the active session.
 
         ``recompile`` creates the engine lazily on first use; long-running
-        controllers call this once after :meth:`compile` so the one-time
-        splice of the compiled statements into the live model (and the
-        seeding of the component-solution cache) is paid at session setup
-        rather than inside the first delta's latency.
+        controllers call this once after :meth:`compile` so the statement
+        bookkeeping and the seeding of the component-solution cache are
+        paid at session setup rather than inside the first delta's latency.
+        Session setup no longer builds the spliced live model at all — the
+        engine materializes it lazily, only if ``solve_live()`` (the
+        splice-equivalence oracle) is ever called.
         """
         if self._session is None:
             raise ProvisioningError(
@@ -441,6 +516,7 @@ class MerlinCompiler:
                 heuristic=self.heuristic,
                 solver=self.solver,
                 max_workers=self.max_solver_workers,
+                footprint_slack=self.footprint_slack,
             )
             for identifier, logical in session.guaranteed_logical.items():
                 local = session.local_rates[identifier]

@@ -25,6 +25,8 @@ source to its destination.
 from __future__ import annotations
 
 import collections
+import heapq
+import math
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -246,6 +248,99 @@ def build_logical_topology(
             push(next_vertex)
     _prune_dead_vertices(logical)
     return logical
+
+
+def _hop_distances(logical: LogicalTopology, reverse: bool) -> Dict[Vertex, float]:
+    """Fewest physical-link traversals from the source to every vertex
+    (``reverse=False``) or from every vertex to the sink (``reverse=True``).
+
+    Stay-at-location and source/sink edges (``physical_link is None``) cost
+    nothing; every physical hop costs one.  Dijkstra over {0, 1} costs —
+    the graphs are small enough that the deque-based 0-1 BFS would buy
+    nothing.
+    """
+    start = SINK if reverse else SOURCE
+    if start not in logical.vertices:
+        return {}
+    distances: Dict[Vertex, float] = {start: 0.0}
+    heap: List[Tuple[float, Vertex]] = [(0.0, start)]
+    while heap:
+        distance, vertex = heapq.heappop(heap)
+        if distance > distances.get(vertex, math.inf):
+            continue
+        edges = logical.in_edges(vertex) if reverse else logical.out_edges(vertex)
+        for edge in edges:
+            neighbor = edge.source if reverse else edge.target
+            candidate = distance + (0.0 if edge.physical_link is None else 1.0)
+            if candidate < distances.get(neighbor, math.inf):
+                distances[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor))
+    return distances
+
+
+def prune_to_cost_bound(
+    logical: LogicalTopology, slack: int = 0
+) -> LogicalTopology:
+    """Restrict ``G_i`` to edges on some cost-bounded source-to-sink path.
+
+    An edge survives iff its best *path-through* cost — fewest physical
+    hops from the source to the edge, across it, and on to the sink — is at
+    most the statement's optimal hop count plus ``slack``.  With
+    ``slack=0`` the subgraph is exactly the union of all minimum-hop paths
+    (which, on topologies with equal-cost multipath, keeps the full ECMP
+    diversity); larger slacks re-admit detours of up to that many extra
+    hops.
+
+    This is the *footprint tightening* behind partition decomposition: an
+    unconstrained ``.*`` path expression makes ``G_i`` span every physical
+    link, gluing the whole provisioning MIP into one component, while the
+    cost-bounded subgraph touches only links near some optimal path.  The
+    pruned topology is what the partitioned MIP is built from, so the
+    decomposition stays exact: a statement provably cannot reserve
+    bandwidth on a link outside its (tightened) footprint.
+
+    The restriction trades completeness for parallelism, and the loss is
+    real whenever the min-max optimum (or feasibility itself) needs a
+    detour *longer* than the bound: such a workload gets a worse max
+    utilization — or an infeasibility report — where the unpruned model
+    would route the long way around.  Raise ``slack`` (or disable
+    tightening with ``footprint_slack=None`` at the provisioning entry
+    points) for networks whose useful alternate paths exceed the default
+    bound.  The optimal-hop path always survives, so a feasible graph is
+    never pruned to emptiness.
+
+    Returns the input object unchanged when nothing would be pruned (the
+    common case for already-scoped path expressions), so memoized logical
+    topologies keep being shared.
+    """
+    if SOURCE not in logical.vertices or SINK not in logical.vertices:
+        return logical
+    forward = _hop_distances(logical, reverse=False)
+    optimal = forward.get(SINK)
+    if optimal is None:
+        return logical
+    backward = _hop_distances(logical, reverse=True)
+    bound = optimal + slack
+    kept = [
+        edge
+        for edge in logical.edges
+        if (
+            forward.get(edge.source, math.inf)
+            + (0.0 if edge.physical_link is None else 1.0)
+            + backward.get(edge.target, math.inf)
+        )
+        <= bound
+    ]
+    if len(kept) == len(logical.edges):
+        return logical
+    pruned = LogicalTopology(
+        statement_id=logical.statement_id,
+        source_location=logical.source_location,
+        destination_location=logical.destination_location,
+    )
+    for edge in kept:
+        pruned.add_edge(edge)
+    return pruned
 
 
 def infer_endpoints(

@@ -71,6 +71,25 @@ from .logical import SINK, SOURCE, LogicalEdge, LogicalTopology
 #: Rates are expressed in Mbps inside the MIP to keep coefficients well-scaled.
 _MBPS = 1e6
 
+#: Default footprint tightening for the partitioned provisioning paths: keep
+#: only logical edges on some source-to-sink path of at most (optimal hops +
+#: slack) physical-link traversals (see
+#: :func:`repro.core.logical.prune_to_cost_bound`).  Tightening is what
+#: stops unconstrained ``.*`` paths from gluing every statement into one MIP
+#: component.  The default of 2 admits, on top of the full equal-cost
+#: multipath diversity at optimal length, detours around one node (an
+#: alternate path that enters and leaves one extra location — e.g. the
+#: long side of the Figure 3 dumbbell), which is what the min-max
+#: objectives use to spread load; it still excludes far-away links (a
+#: fat-tree core detour for intra-rack traffic costs 4 extra hops).
+#: The bound is a genuine restriction: a workload whose min-max optimum
+#: (or feasibility) needs a detour longer than it gets a worse max
+#: utilization (or an infeasibility report) than the untightened model
+#: would find — raise the slack or pass ``None`` to disable tightening
+#: for such networks (the monolithic ``partition=False`` path never
+#: tightens; it is the untightened reference).
+DEFAULT_FOOTPRINT_SLACK: Optional[int] = 2
+
 
 class PathSelectionHeuristic(enum.Enum):
     """The optimisation criterion used to break ties among feasible assignments."""
@@ -119,6 +138,7 @@ def provision(
     solver=None,
     partition: bool = True,
     max_workers: int = 0,
+    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK,
 ) -> ProvisioningResult:
     """Select paths and reserve bandwidth for the guaranteed statements.
 
@@ -130,8 +150,11 @@ def provision(
 
     With ``partition=True`` (the default) the MIP is decomposed into
     link-disjoint components solved independently (``max_workers`` > 1
-    solves them in a process pool); ``partition=False`` keeps the single
-    monolithic model.
+    solves them in a process pool), after each statement's logical topology
+    is tightened to its cost-bounded subgraph (``footprint_slack`` extra
+    physical hops over the statement's optimum; ``None`` disables
+    tightening).  ``partition=False`` keeps the single monolithic,
+    untightened model.
     """
     if not statements:
         return ProvisioningResult(
@@ -157,6 +180,7 @@ def provision(
             heuristic=heuristic,
             solver=solver,
             max_workers=max_workers,
+            footprint_slack=footprint_slack,
         )
 
     construction_start = time.perf_counter()
@@ -276,10 +300,15 @@ def splice_statement_rows(
     """Create one statement's binary edge variables and Equation-1 flow rows.
 
     The single per-statement construction shared by the batch builder
-    (:func:`build_model_for_links`) and the incremental engine's live-model
-    splice: variable naming (``x__{id}__{index}``), flow-row naming
-    (``flow__{id}__{vertex}``), and emission order must stay identical for
-    the splice-equivalence guarantee (and cached-component reuse) to hold.
+    (:func:`build_model_for_links`) and the incremental engine's lazy
+    live-model materialization: variable naming (``x__{id}__{index}``),
+    flow-row naming (``flow__{id}__{vertex}``), and emission order must
+    stay identical for the splice-equivalence guarantee (and
+    cached-component reuse) to hold.  The edge-variable name format is
+    also relied on by ``IncrementalProvisioner.remove_statement``, which
+    prunes a removed statement's warm-start incumbents by reconstructing
+    these names — change the format in both places or stale incumbents
+    survive removal.
     Returns ``(edge variables by index, flow-row constraints, variables
     bucketed by the undirected physical link they map onto)`` — the caller
     turns the link buckets into Equation-2 reservation terms.
@@ -463,6 +492,16 @@ def set_provisioning_objective(
     model, whose tiebreaker magnitudes must be refreshed after deltas (both
     the per-edge epsilon and the guarantee quantum depend on the statement
     population).
+
+    For the min-max heuristics the per-edge tiebreaker epsilon is also
+    published as :attr:`~repro.lp.model.Model.objective_resolution` — the
+    smallest objective difference that distinguishes two genuinely
+    different solutions.  Solvers that prune within an absolute gap (the
+    pure-Python branch-and-bound) scale their gap below it, so a
+    warm-started re-solve seeded with an equal-``r_max`` incumbent still
+    discovers the marginally-cheaper-tiebreaker optimum a cold solve would
+    pick: warm and cold solves coincide even on components whose epsilon
+    falls under the solver's default gap (>~1000 logical edges).
     """
     if heuristic is PathSelectionHeuristic.WEIGHTED_SHORTEST_PATH:
         objective = LinExpr()
@@ -475,6 +514,7 @@ def set_provisioning_objective(
                 if edge.physical_link is not None:
                     objective.add_term(variables[index], weight)
         model.minimize(objective)
+        model.objective_resolution = None
     elif heuristic is PathSelectionHeuristic.MIN_MAX_RATIO:
         # Genuine r_max optima differ by at least the smallest guarantee as
         # a fraction of the largest capacity; cap the total tiebreaker below
@@ -485,8 +525,10 @@ def set_provisioning_objective(
             if max_capacity_mbps > 0.0
             else 1.0
         )
-        tiebreaker = _edge_tiebreaker(edge_variables, magnitude=min(1e-3, quantum))
+        magnitude = min(1e-3, quantum)
+        tiebreaker = _edge_tiebreaker(edge_variables, magnitude=magnitude)
         model.minimize(tiebreaker.add_term(r_max, 1.0))
+        model.objective_resolution = _tiebreaker_epsilon(edge_variables, magnitude)
     elif heuristic is PathSelectionHeuristic.MIN_MAX_RESERVED:
         # R_max is in Mbps; genuine optima differ by (combinations of) the
         # statement guarantees, so keep the total penalty three orders of
@@ -494,6 +536,7 @@ def set_provisioning_objective(
         magnitude = _guarantee_quantum_mbps(statements, rates) * 1e-3
         tiebreaker = _edge_tiebreaker(edge_variables, magnitude=magnitude)
         model.minimize(tiebreaker.add_term(big_r_max, 1.0))
+        model.objective_resolution = _tiebreaker_epsilon(edge_variables, magnitude)
     else:  # pragma: no cover - the enum is exhaustive
         raise ProvisioningError(f"unknown heuristic {heuristic!r}")
 
@@ -511,6 +554,14 @@ def _guarantee_quantum_mbps(
     return min(guarantees_mbps) if guarantees_mbps else 1.0
 
 
+def _tiebreaker_epsilon(
+    edge_variables: Mapping[str, Mapping[int, Variable]], magnitude: float
+) -> float:
+    """The per-edge tiebreaker coefficient — the model's objective resolution."""
+    total_edges = sum(len(variables) for variables in edge_variables.values())
+    return magnitude / (total_edges + 1)
+
+
 def _edge_tiebreaker(
     edge_variables: Mapping[str, Mapping[int, Variable]], magnitude: float = 1e-3
 ) -> LinExpr:
@@ -521,18 +572,17 @@ def _edge_tiebreaker(
     disconnected cycles (which satisfy flow conservation).  A negligible
     per-edge cost removes them without affecting the min-max optimum.
 
-    The per-edge epsilon is ``magnitude / (total_edges + 1)``, so the total
-    penalty stays strictly below ``magnitude`` even if every edge were
-    selected; callers pass a magnitude below the smallest genuine objective
-    difference (the guarantee quantum).  (A fixed per-edge epsilon would
-    grow linearly with the number of selected edges and, on topologies with
-    thousands of logical edges, could exceed genuine objective differences
-    and distort the min-max optimum; an epsilon much further below the
-    quantum would fall under the solver's tolerances and stop suppressing
-    cycles.)
+    The per-edge epsilon is ``magnitude / (total_edges + 1)``
+    (:func:`_tiebreaker_epsilon`), so the total penalty stays strictly
+    below ``magnitude`` even if every edge were selected; callers pass a
+    magnitude below the smallest genuine objective difference (the
+    guarantee quantum).  (A fixed per-edge epsilon would grow linearly with
+    the number of selected edges and, on topologies with thousands of
+    logical edges, could exceed genuine objective differences and distort
+    the min-max optimum; an epsilon much further below the quantum would
+    fall under the solver's tolerances and stop suppressing cycles.)
     """
-    total_edges = sum(len(variables) for variables in edge_variables.values())
-    epsilon = magnitude / (total_edges + 1)
+    epsilon = _tiebreaker_epsilon(edge_variables, magnitude)
     return LinExpr.weighted_sum(
         (variable, epsilon)
         for variables in edge_variables.values()

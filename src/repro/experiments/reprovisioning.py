@@ -35,7 +35,7 @@ from ..core.ast import (
 from ..core.compiler import MerlinCompiler
 from ..incremental.delta import DeltaStatement, PolicyDelta
 from ..predicates.ast import FieldTest, pred_and
-from ..regex.ast import Regex, Symbol, star, union
+from ..regex.ast import Regex, Symbol, any_path, star, union
 from ..topology.generators import fat_tree
 from ..topology.graph import Topology
 from ..units import Bandwidth
@@ -105,6 +105,18 @@ def _pod_path(pod: Dict[str, List[str]], source: str, destination: str) -> Regex
     return star(union(*[Symbol(location) for location in locations]))
 
 
+def _pair_predicate(
+    topology: Topology, source: str, destination: str, port: int
+):
+    return pred_and(
+        FieldTest("eth.src", topology.node(source).mac),
+        pred_and(
+            FieldTest("eth.dst", topology.node(destination).mac),
+            FieldTest("tcp.dst", port),
+        ),
+    )
+
+
 def _pod_statement(
     topology: Topology,
     pod: Dict[str, List[str]],
@@ -113,14 +125,31 @@ def _pod_statement(
     destination: str,
     port: int,
 ) -> Statement:
-    predicate = pred_and(
-        FieldTest("eth.src", topology.node(source).mac),
-        pred_and(
-            FieldTest("eth.dst", topology.node(destination).mac),
-            FieldTest("tcp.dst", port),
-        ),
-    )
+    predicate = _pair_predicate(topology, source, destination, port)
     return Statement(identifier, predicate, _pod_path(pod, source, destination))
+
+
+def unconstrained_statement(
+    scenario: "PodTenantScenario",
+    identifier: str = "wild",
+    pod_index: int = 0,
+    port: int = 7777,
+) -> Statement:
+    """A same-rack host pair in one pod with an unconstrained ``.*`` path.
+
+    This is the statement shape that used to collapse the partition
+    decomposition: its path expression allows every physical link, so
+    without footprint tightening it glues all pod tenants into one MIP
+    component.  With cost-bound tightening its footprint shrinks to links
+    near its (intra-rack) optimal path and the pod tenants stay
+    partition-parallel — the mixed-workload case the Figure 10b' smoke
+    guards.
+    """
+    pod = scenario.pods[pod_index]
+    hosts = pod["hosts"]
+    source, destination = hosts[0], hosts[1]
+    predicate = _pair_predicate(scenario.topology, source, destination, port)
+    return Statement(identifier, predicate, any_path())
 
 
 def pod_tenant_scenario(

@@ -4,26 +4,35 @@ The paper's adaptation story (§4.3, Figure 10) is that run-time bandwidth
 re-allocation is cheap because it avoids global recompilation.  This package
 extends that property to changes that *do* need new paths: instead of
 rebuilding and re-solving the whole provisioning MIP, an
-:class:`IncrementalProvisioner` splices statements in and out of a live
-model, partitions the statements into link-disjoint components, and
+:class:`IncrementalProvisioner` keeps a transactional, lazily-materialized
+session of per-statement bookkeeping, partitions the statements into
+link-disjoint components over cost-bound-tightened footprints, and
 re-solves only the components a delta touched — in parallel, warm-started
-from the previous incumbent.
+from the previous incumbent.  See ``README.md`` in this directory for the
+session lifecycle (lazy materialization, checkpoints, commit/rollback,
+partition invariants).
 
 Layout:
 
 * :mod:`repro.incremental.partition` — union-find decomposition of the MIP
-  along shared physical links,
+  along shared physical links, plus footprint tightening,
 * :mod:`repro.incremental.solve` — canonical component model construction,
   (optionally pooled) solving, and solution merging; also the back end of
   the full compiler's partitioned ``provision()``,
-* :mod:`repro.incremental.engine` — the live-model delta engine,
+* :mod:`repro.incremental.engine` — the lazily-materialized delta engine,
 * :mod:`repro.incremental.delta` — :class:`PolicyDelta` and policy diffing
   for :meth:`MerlinCompiler.recompile` and the negotiator hierarchy.
 """
 
 from .delta import DeltaStatement, PolicyDelta, RateUpdate, policy_delta
-from .engine import IncrementalProvisioner
-from .partition import LinkKey, PartitionSpec, UnionFind, partition_statements
+from .engine import EngineCheckpoint, IncrementalProvisioner
+from .partition import (
+    LinkKey,
+    PartitionSpec,
+    UnionFind,
+    partition_statements,
+    tighten_logical_topologies,
+)
 from .solve import (
     PartitionSolution,
     build_partition_model,
@@ -37,7 +46,9 @@ __all__ = [
     "PolicyDelta",
     "RateUpdate",
     "policy_delta",
+    "EngineCheckpoint",
     "IncrementalProvisioner",
+    "tighten_logical_topologies",
     "LinkKey",
     "PartitionSpec",
     "UnionFind",

@@ -1,66 +1,82 @@
 """The incremental re-provisioning engine (delta compilation).
 
-:class:`IncrementalProvisioner` owns a *live* provisioning model and keeps
-it in sync with a changing statement population without ever rebuilding it:
+:class:`IncrementalProvisioner` owns the *session state* of a changing
+statement population — per-statement metadata only, never a live MIP:
 
-* :meth:`add_statement` splices a statement's flow-conservation rows and
-  per-link reservation terms into the model (re-using the indexed
-  construction's per-vertex and per-link buckets),
-* :meth:`remove_statement` splices them back out,
-* :meth:`update_rates` rewrites the statement's guarantee coefficients in
-  the reservation rows it touches.
+* :meth:`add_statement` records a statement's (cost-bound-tightened) logical
+  topology, rates, link footprint, and a fresh revision number,
+* :meth:`remove_statement` forgets them (and prunes the statement's
+  incumbent values),
+* :meth:`update_rates` rewrites the statement's rates and bumps its
+  revision.
 
-:meth:`resolve` then re-provisions: the active statements are partitioned
-into link-disjoint components (union-find over logical link footprints),
-components whose membership and rates are unchanged since the previous
-solve re-use their cached :class:`~repro.incremental.solve.PartitionSolution`
-verbatim, and only the *dirty* components are rebuilt (in canonical order)
-and re-solved — concurrently in a process pool when several are dirty, each
-warm-started from the previous incumbent projected onto its surviving
-variables.  The merged result is bit-identical to a from-scratch
-``provision()`` of the same statements because both paths construct and
-solve exactly the same canonical component models.
+All three are pure bookkeeping: O(statement) dictionary updates, no model
+splicing, no pass over live constraint rows.  The fully-spliced global
+model — historically maintained eagerly, putting O(total logical edges)
+splice work on every session setup and removal — is now *lazily
+materialized*: only :meth:`solve_live` (and the ``live_model`` /
+``num_live_*`` introspection properties) builds it, on demand, from the
+same bookkeeping dicts, via the exact canonical constructor
+(:func:`~repro.core.provisioning.build_model_for_links`) the batch path
+uses.  ``live_materializations`` counts those builds so tests can assert
+the delta path never pays for one.
 
-One caveat on that identity: the default SciPy/HiGHS backend ignores warm
-starts, so it is exact there.  With the pure-Python
-:class:`~repro.lp.branch_and_bound.BranchAndBoundSolver`, a seeded
-incumbent prunes open nodes within the solver's ``absolute_gap`` (1e-6),
-so on components whose tiebreaker epsilon falls below that gap (more than
-roughly a thousand logical edges in one component) a warm-started re-solve
-may keep a previous optimum that a cold solve would replace with an
-equal-``r_max``, marginally-cheaper-tiebreaker one.  Allocations remain
-optimal either way; only tie selection can differ (see the ROADMAP
-follow-on on warm-start determinism).
+:meth:`resolve` re-provisions: the active statements are partitioned into
+link-disjoint components (union-find over *tightened* logical link
+footprints), components whose membership and rates are unchanged since the
+previous solve re-use their cached
+:class:`~repro.incremental.solve.PartitionSolution` verbatim, and only the
+*dirty* components are rebuilt (in canonical order) and re-solved —
+concurrently in a process pool when several are dirty, each warm-started
+from the previous incumbent projected onto its surviving variables.  The
+merged result is identical to a from-scratch ``provision()`` of the same
+statements because both paths tighten the same way and construct and solve
+exactly the same canonical component models.
 
-The live model itself is solvable too (:meth:`solve_live`), which is how the
-test suite proves that splicing maintains a model coefficient-identical to a
-fresh :func:`~repro.core.provisioning.build_provisioning_model` build.
+Warm-started re-solves pick the same optima as cold ones: provisioning
+models declare their tiebreaker epsilon as ``objective_resolution`` and the
+branch-and-bound backend scales its pruning gap below it, so a seeded
+incumbent can never shadow the marginally-cheaper-tiebreaker tie a cold
+solve would return.
+
+Transactions
+------------
+Because the engine's state is a handful of dictionaries over immutable
+values, a transaction is a shadow snapshot: :meth:`checkpoint` captures the
+session (shallow dict copies — statements, topologies, rates, and solutions
+are never mutated in place) and :meth:`restore` reinstates it exactly,
+including the solution cache, incumbent values, and revision counter.
+:meth:`MerlinCompiler.recompile` wraps every delta in one, so a delta that
+fails *after* validation — an infeasible solve, a code-generation error —
+rolls the session back to its precise pre-delta state instead of
+invalidating it.
 """
 
 from __future__ import annotations
 
-import itertools
 import time
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.ast import Statement
 from ..core.localization import LocalRates
-from ..core.logical import LogicalTopology, build_logical_topology, infer_endpoints
+from ..core.logical import (
+    LogicalTopology,
+    build_logical_topology,
+    infer_endpoints,
+    prune_to_cost_bound,
+)
 from ..core.provisioning import (
-    _MBPS,
+    DEFAULT_FOOTPRINT_SLACK,
     PathSelectionHeuristic,
+    ProvisioningModel,
     ProvisioningResult,
-    emit_link_rows,
-    set_provisioning_objective,
-    splice_statement_rows,
+    build_model_for_links,
 )
 from ..errors import ProvisioningError
-from ..lp.constraint import Constraint
-from ..lp.expr import Variable
-from ..lp.model import Model
 from ..topology.graph import Topology
 from ..units import Bandwidth
-from .partition import LinkKey, PartitionSpec, partition_statements
+from .partition import PartitionSpec, partition_statements
 from .solve import (
     PartitionSolution,
     build_partition_model,
@@ -76,12 +92,38 @@ from .solve import (
 Signature = Tuple[str, Tuple[Tuple[str, int], ...]]
 
 
+@dataclass(frozen=True)
+class EngineCheckpoint:
+    """A shadow snapshot of the engine's session state.
+
+    Dict copies are shallow: every value (statements, logical topologies,
+    rates, footprints, cached solutions, incumbent floats) is immutable
+    once stored, so restoring the copies reinstates the exact state.  The
+    revision counter is captured too — a rolled-back engine assigns the
+    same revisions (and therefore the same cache signatures) to future
+    deltas as an engine that never saw the failed one.
+    """
+
+    statements: Dict[str, Statement]
+    logical: Dict[str, LogicalTopology]
+    rates: Dict[str, LocalRates]
+    footprints: Dict[str, frozenset]
+    revisions: Dict[str, int]
+    next_revision: int
+    cache: Dict[Signature, PartitionSolution]
+    last_values: Dict[str, float]
+
+
 class IncrementalProvisioner:
-    """A live provisioning model supporting add/remove/update + resolve.
+    """A lazily-materialized provisioning session: add/remove/update + resolve.
 
     ``max_workers`` > 1 enables the process pool for multi-component
     re-solves; 0 (the default) solves dirty components in-process, which is
     the right choice for the common single-component delta.
+    ``footprint_slack`` is the cost-bound tightening applied to each
+    statement's logical topology (extra physical hops over its optimum;
+    ``None`` disables tightening) — it must match the value the seeding
+    full compile used for cached solutions to be adoptable.
     """
 
     def __init__(
@@ -92,16 +134,20 @@ class IncrementalProvisioner:
         solver=None,
         max_workers: int = 0,
         cache_limit: int = 512,
+        footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK,
     ) -> None:
         self.topology = topology
         self.placements = dict(placements or {})
         self.heuristic = heuristic
         self.solver = solver
         self.max_workers = max_workers
+        self.footprint_slack = footprint_slack
         self._cache_limit = cache_limit
 
         self._capacity_mbps = topology_capacities_mbps(topology)
         self._statements: Dict[str, Statement] = {}
+        #: Tightened (cost-bounded) logical topologies — what partitioning,
+        #: the component models, and the lazy live model are all built from.
         self._logical: Dict[str, LogicalTopology] = {}
         self._rates: Dict[str, LocalRates] = {}
         # Per-statement link footprint, computed once at add time: logical
@@ -110,27 +156,17 @@ class IncrementalProvisioner:
         # latency path this engine exists to shrink.
         self._footprints: Dict[str, frozenset] = {}
         self._revisions: Dict[str, int] = {}
-        self._revision_counter = itertools.count(1)
+        self._next_revision = 1
 
         self._cache: Dict[Signature, PartitionSolution] = {}
         self._last_values: Dict[str, float] = {}
 
-        # --- the live global model -------------------------------------------
-        self._model = Model(name="merlin-provisioning-live")
-        self._edge_variables: Dict[str, Dict[int, Variable]] = {}
-        self._flow_rows: Dict[str, List[Constraint]] = {}
-        # Per link, per statement: the edge variables contributing to the
-        # link's Equation-2 row (the live per-link buckets).
-        self._link_members: Dict[LinkKey, Dict[str, List[Variable]]] = {}
-        links = list(self._capacity_mbps.items())
-        (
-            self._r_max,
-            self._big_r_max,
-            self._reservation_fraction,
-            self._reserve_rows,
-            self._max_capacity_mbps,
-        ) = emit_link_rows(self._model, links, {})
-        self._objective_stale = True
+        # --- the lazily-materialized live model --------------------------------
+        self._live: Optional[ProvisioningModel] = None
+        self._live_signature: Optional[Signature] = None
+        #: How many times the spliced global model was actually built; the
+        #: delta path must never increment it (counter/spy for tests).
+        self.live_materializations = 0
 
     # -- introspection -----------------------------------------------------------
 
@@ -144,18 +180,53 @@ class IncrementalProvisioner:
         return self._rates[identifier]
 
     def logical_for(self, identifier: str) -> LogicalTopology:
+        """The statement's *tightened* logical topology (the MIP's view)."""
         return self._logical[identifier]
 
     @property
-    def live_model(self) -> Model:
-        """The spliced global model (objective possibly stale; see sync)."""
-        return self._model
+    def live_model(self):
+        """The spliced global model, materialized on demand (and memoized
+        until the next delta)."""
+        return self._materialize_live().model
 
     def num_live_variables(self) -> int:
-        return self._model.num_variables()
+        return self._materialize_live().model.num_variables()
 
     def num_live_constraints(self) -> int:
-        return self._model.num_constraints()
+        return self._materialize_live().model.num_constraints()
+
+    # -- transactions -------------------------------------------------------------
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Capture the session state for a later :meth:`restore`."""
+        return EngineCheckpoint(
+            statements=dict(self._statements),
+            logical=dict(self._logical),
+            rates=dict(self._rates),
+            footprints=dict(self._footprints),
+            revisions=dict(self._revisions),
+            next_revision=self._next_revision,
+            cache=dict(self._cache),
+            last_values=dict(self._last_values),
+        )
+
+    def restore(self, saved: EngineCheckpoint) -> None:
+        """Reinstate a :meth:`checkpoint` exactly (the rollback half of a
+        transaction; committing is simply discarding the checkpoint)."""
+        self._statements = dict(saved.statements)
+        self._logical = dict(saved.logical)
+        self._rates = dict(saved.rates)
+        self._footprints = dict(saved.footprints)
+        self._revisions = dict(saved.revisions)
+        self._next_revision = saved.next_revision
+        self._cache = dict(saved.cache)
+        self._last_values = dict(saved.last_values)
+        # Drop the memoized live model: rollback rewinds the revision
+        # counter, so a post-rollback delta re-issues revision numbers and
+        # a model materialized *inside* the failed transaction could
+        # otherwise collide with the new population's signature.
+        self._live = None
+        self._live_signature = None
 
     # -- delta operations ---------------------------------------------------------
 
@@ -166,12 +237,13 @@ class IncrementalProvisioner:
         cap: Optional[Bandwidth] = None,
         logical: Optional[LogicalTopology] = None,
     ) -> None:
-        """Splice a guaranteed statement into the live model.
+        """Enter a guaranteed statement into the session (bookkeeping only).
 
         ``logical`` may be supplied when the caller already built the
         statement's product graph (the compiler's memoized pipeline does);
         otherwise it is constructed here from the statement's inferred
-        endpoints.
+        endpoints.  Either way it is tightened to its cost-bounded subgraph
+        before being stored.  No model is built or spliced.
         """
         identifier = statement.identifier
         if identifier in self._statements:
@@ -203,15 +275,8 @@ class IncrementalProvisioner:
                 f"statement {identifier!r} has no feasible path satisfying "
                 "its path expression"
             )
-
-        guarantee_mbps = guarantee.bps_value / _MBPS
-        variables, flow_rows, touched = splice_statement_rows(
-            self._model, statement, logical
-        )
-        for key, members in touched.items():
-            row = self._reserve_rows[key].expression
-            for variable in members:
-                row.add_term(variable, -guarantee_mbps)
+        if self.footprint_slack is not None:
+            logical = prune_to_cost_bound(logical, self.footprint_slack)
 
         self._statements[identifier] = statement
         self._logical[identifier] = logical
@@ -219,43 +284,27 @@ class IncrementalProvisioner:
         self._rates[identifier] = LocalRates(
             identifier=identifier, guarantee=guarantee, cap=cap
         )
-        self._edge_variables[identifier] = variables
-        self._flow_rows[identifier] = flow_rows
-        for key, members in touched.items():
-            self._link_members.setdefault(key, {})[identifier] = members
-        self._revisions[identifier] = next(self._revision_counter)
-        self._objective_stale = True
+        self._revisions[identifier] = self._bump_revision()
 
     def remove_statement(self, identifier: str) -> None:
-        """Splice a statement's rows and variables back out of the live model."""
+        """Forget a statement (bookkeeping only — no rows to splice out)."""
         if identifier not in self._statements:
             raise ProvisioningError(f"unknown statement {identifier!r}")
-        for key in self._footprints[identifier]:
-            members = self._link_members.get(key)
-            if members is None:
-                continue
-            variables = members.pop(identifier, None)
-            if variables:
-                row = self._reserve_rows[key].expression
-                for variable in variables:
-                    row.remove_term(variable)
-            if not members:
-                del self._link_members[key]
-        self._model.remove_constraints(self._flow_rows.pop(identifier))
-        removed_variables = self._edge_variables.pop(identifier)
-        self._model.remove_variables(removed_variables.values())
         # Drop the statement's incumbent values: a later re-add under the
         # same identifier reuses variable names, and a projection built from
         # a different logical topology must not masquerade as a warm start
         # (it also keeps the incumbent map from growing without bound).
-        for variable in removed_variables.values():
-            self._last_values.pop(variable.name, None)
+        # Variable names are deterministic — x__{id}__{edge index}, the
+        # format splice_statement_rows emits; its docstring cross-references
+        # this dependency — so the pruning costs O(statement edges), not a
+        # pass over the whole model.
+        for index in range(self._logical[identifier].num_edges()):
+            self._last_values.pop(f"x__{identifier}__{index}", None)
         del self._statements[identifier]
         del self._logical[identifier]
         del self._footprints[identifier]
         del self._rates[identifier]
         del self._revisions[identifier]
-        self._objective_stale = True
 
     def update_rates(
         self,
@@ -263,7 +312,7 @@ class IncrementalProvisioner:
         guarantee: Bandwidth,
         cap: Optional[Bandwidth] = None,
     ) -> None:
-        """Rewrite a statement's guarantee in every reservation row it touches."""
+        """Rewrite a statement's rates (bookkeeping only)."""
         if identifier not in self._statements:
             raise ProvisioningError(f"unknown statement {identifier!r}")
         if guarantee is None or guarantee.bps_value <= 0:
@@ -277,20 +326,15 @@ class IncrementalProvisioner:
         )
         if previous is not None and previous.bps_value == guarantee.bps_value:
             # Cap-only change: the cap never enters the provisioning MIP, so
-            # the model is untouched and the statement's partition stays
-            # clean (its cached solution remains valid).
+            # the statement's partition stays clean (its cached solution and
+            # the memoized live model remain valid).
             return
-        guarantee_mbps = guarantee.bps_value / _MBPS
-        for key in self._footprints[identifier]:
-            members = self._link_members.get(key)
-            if members is None:
-                continue
-            for variable in members.get(identifier, ()):
-                self._reserve_rows[key].expression.set_term(
-                    variable, -guarantee_mbps
-                )
-        self._revisions[identifier] = next(self._revision_counter)
-        self._objective_stale = True
+        self._revisions[identifier] = self._bump_revision()
+
+    def _bump_revision(self) -> int:
+        revision = self._next_revision
+        self._next_revision += 1
+        return revision
 
     # -- solving -------------------------------------------------------------------
 
@@ -438,35 +482,46 @@ class IncrementalProvisioner:
             self._last_values.update(solution.values_by_name)
         return result
 
-    # -- the live model as a solvable artifact --------------------------------------
+    # -- the live model as a (lazily built) solvable artifact ------------------------
 
-    def sync_objective(self) -> None:
-        """Refresh the live model's objective after deltas.
-
-        The tiebreaker epsilon and the guarantee quantum depend on the
-        statement population, so the objective is rebuilt lazily rather than
-        patched on every delta.
-        """
-        if not self._objective_stale:
-            return
-        set_provisioning_objective(
-            self._model,
-            list(self._statements.values()),
-            self._logical,
-            self._rates,
-            self._edge_variables,
-            self._r_max,
-            self._big_r_max,
-            self.heuristic,
-            self._max_capacity_mbps,
+    def _population_signature(self) -> Signature:
+        return (
+            self.heuristic.value,
+            tuple(sorted(self._revisions.items())),
         )
-        self._objective_stale = False
+
+    def _materialize_live(self) -> ProvisioningModel:
+        """Build (or reuse) the fully-spliced global model.
+
+        Constructed from the same bookkeeping dicts ``resolve()`` reads,
+        through the same canonical constructor the batch path uses, so it
+        is coefficient-identical to a from-scratch
+        :func:`~repro.core.provisioning.build_provisioning_model` of the
+        current statements over the whole topology.  Memoized on the
+        population signature: repeated solves without intervening deltas
+        reuse the build, any delta invalidates it implicitly, and
+        :meth:`restore` drops it explicitly (revision numbers are re-issued
+        after a rollback, so signatures alone could not be trusted).
+        """
+        signature = self._population_signature()
+        if self._live is None or self._live_signature != signature:
+            self.live_materializations += 1
+            self._live = build_model_for_links(
+                list(self._statements.values()),
+                self._logical,
+                self._rates,
+                list(self._capacity_mbps.items()),
+                heuristic=self.heuristic,
+            )
+            self._live_signature = signature
+        return self._live
 
     def solve_live(self, solver=None):
-        """Solve the live global model directly (no partitioning, no cache).
+        """Solve the lazily-built global model directly (no partitioning,
+        no cache).
 
-        Exists as a correctness escape hatch and for the splice-equivalence
-        tests; :meth:`resolve` is the fast path.
+        Exists as a correctness escape hatch and as the splice-equivalence
+        oracle for the test suite; :meth:`resolve` is the fast path.  This
+        is the only place the spliced model's construction cost is paid.
         """
-        self.sync_objective()
-        return self._model.solve(solver or self.solver)
+        return self._materialize_live().model.solve(solver or self.solver)

@@ -15,15 +15,48 @@ result is canonical: statement identifiers and link keys inside a
 component's smallest statement identifier, so the same statement population
 always produces the same specs — the property the incremental engine's
 solution cache and the full-compile/incremental equivalence rely on.
+
+Footprint tightening
+--------------------
+An unconstrained ``.*`` path expression touches every physical link, so one
+such statement used to glue the whole MIP into a single component and erase
+the partition parallelism.  :func:`tighten_logical_topologies` therefore
+restricts each statement's product graph to its *cost-bounded* subgraph
+(:func:`~repro.core.logical.prune_to_cost_bound`: edges on some
+source-to-sink path of at most optimal-hops + slack physical links) before
+footprints are taken.  Crucially the tightened topology is also what the
+component MIPs are built from, so the decomposition stays exact — a
+statement cannot reserve bandwidth on a link its footprint excludes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.logical import LogicalTopology, prune_to_cost_bound
 
 #: An undirected physical link, keyed as ``tuple(sorted((u, v)))``.
 LinkKey = Tuple[str, str]
+
+
+def tighten_logical_topologies(
+    logical_topologies: Mapping[str, LogicalTopology],
+    slack: Optional[int],
+) -> Dict[str, LogicalTopology]:
+    """Cost-bound every statement's logical topology for partitioning.
+
+    ``slack`` is the number of extra physical hops allowed over each
+    statement's optimum (``None`` disables tightening and returns the
+    inputs unchanged).  Already-tight topologies are returned by reference,
+    so memoized product graphs keep being shared.
+    """
+    if slack is None:
+        return dict(logical_topologies)
+    return {
+        identifier: prune_to_cost_bound(logical, slack)
+        for identifier, logical in logical_topologies.items()
+    }
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ from ..core.localization import LocalRates
 from ..core.logical import LogicalTopology
 from ..core.provisioning import (
     _MBPS,
+    DEFAULT_FOOTPRINT_SLACK,
     PathSelectionHeuristic,
     ProvisioningModel,
     ProvisioningResult,
@@ -50,7 +51,12 @@ from ..errors import ProvisioningError
 from ..lp.result import SolveStatus
 from ..topology.graph import Topology
 from ..units import Bandwidth
-from .partition import LinkKey, PartitionSpec, partition_statements
+from .partition import (
+    LinkKey,
+    PartitionSpec,
+    partition_statements,
+    tighten_logical_topologies,
+)
 
 
 @dataclass
@@ -370,12 +376,24 @@ def provision_partitioned(
     heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
     solver=None,
     max_workers: int = 0,
+    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK,
 ) -> ProvisioningResult:
-    """The partitioned full-compile provisioning path (see module docstring)."""
+    """The partitioned full-compile provisioning path (see module docstring).
+
+    Logical topologies are tightened to their cost-bounded subgraphs first
+    (``footprint_slack`` extra hops over each statement's optimum; ``None``
+    disables tightening), so unconstrained ``.*`` paths no longer collapse
+    the partition graph into one component.  The tightened topologies are
+    used both for footprints and for the component models, keeping the
+    decomposition exact.
+    """
     statements_by_id = {statement.identifier: statement for statement in statements}
     capacity_mbps = topology_capacities_mbps(topology)
 
     construction_start = time.perf_counter()
+    logical_topologies = tighten_logical_topologies(
+        logical_topologies, footprint_slack
+    )
     footprints = link_footprints(statements_by_id, logical_topologies)
     specs = partition_statements(footprints)
     built_models: List[ProvisioningModel] = []

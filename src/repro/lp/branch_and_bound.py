@@ -13,6 +13,18 @@ variables and bounding with LP relaxations solved by ``scipy.optimize.linprog``
 The solver uses best-first search on the LP relaxation bound with
 most-fractional branching, which is entirely adequate for the path-selection
 MIPs Merlin generates (binary edge variables with network-flow structure).
+Relaxations consume the model's *sparse* standard form end-to-end
+(``Model.to_standard_form(sparse=True)`` — HiGHS accepts CSR directly), so
+the solver's memory stays proportional to the constraint-matrix non-zeros
+rather than rows × columns; pass ``sparse=False`` to restore the dense
+export.
+
+Pruning respects the model's declared ``objective_resolution`` (the
+tiebreaker epsilon of Merlin's min-max objectives): the effective absolute
+gap is scaled below it, so a warm-started solve seeded with an
+equal-but-for-tiebreaker incumbent still discovers the tie a cold solve
+would pick — warm and cold solves select identical optima regardless of
+component size.
 
 Incumbent bookkeeping follows standard branch-and-bound semantics: when the
 search is interrupted by the time limit or the node limit while a feasible
@@ -69,10 +81,28 @@ class BranchAndBoundSolver:
         time_limit_seconds: Optional[float] = None,
         max_nodes: int = 200_000,
         absolute_gap: float = 1e-6,
+        sparse: bool = True,
     ) -> None:
         self.time_limit_seconds = time_limit_seconds
         self.max_nodes = max_nodes
         self.absolute_gap = absolute_gap
+        self.sparse = sparse
+
+    def _effective_gap(self, model: Model) -> float:
+        """The pruning gap, scaled below the model's objective resolution.
+
+        With the default ``absolute_gap`` (1e-6) alone, a seeded incumbent
+        prunes any node within 1e-6 of it — including the strictly better
+        tie a cold solve would find whenever the model's tiebreaker epsilon
+        falls below the gap (components beyond ~1000 logical edges).
+        Halving the declared resolution keeps the gap strictly between
+        numerical noise and the smallest genuine objective difference, so
+        warm and cold solves pick identical optima.
+        """
+        resolution = getattr(model, "objective_resolution", None)
+        if resolution is not None and 0.0 < resolution < 2.0 * self.absolute_gap:
+            return resolution / 2.0
+        return self.absolute_gap
 
     def solve(
         self, model: Model, warm_start: Optional[Mapping[str, float]] = None
@@ -85,7 +115,8 @@ class BranchAndBoundSolver:
         incumbent; an invalid start is dropped and recorded in
         ``statistics["warm_start_rejected"]``.
         """
-        form = model.to_standard_form()
+        form = model.to_standard_form(sparse=self.sparse)
+        absolute_gap = self._effective_gap(model)
         started = time.perf_counter()
         integer_indices = [
             position for position, flag in enumerate(form.integrality) if flag
@@ -134,13 +165,13 @@ class BranchAndBoundSolver:
                 interrupted = True
                 break
             node = heapq.heappop(heap)
-            if node.bound >= incumbent_objective - self.absolute_gap:
+            if node.bound >= incumbent_objective - absolute_gap:
                 continue
             relaxation = self._solve_relaxation(form, node.lower, node.upper)
             if relaxation is None:
                 continue
             solution, objective = relaxation
-            if objective >= incumbent_objective - self.absolute_gap:
+            if objective >= incumbent_objective - absolute_gap:
                 continue
             branch_index = self._most_fractional(solution, integer_indices)
             if branch_index is None:
@@ -196,7 +227,7 @@ class BranchAndBoundSolver:
         proven = (
             not interrupted
             or not heap
-            or best_bound >= incumbent_objective - self.absolute_gap
+            or best_bound >= incumbent_objective - absolute_gap
         )
         if form.maximize:
             objective_value = -objective_value
@@ -267,9 +298,9 @@ class BranchAndBoundSolver:
         """Solve the LP relaxation with the given bounds (``None`` if infeasible)."""
         outcome = optimize.linprog(
             c=form.c,
-            A_ub=form.a_ub if form.a_ub.size else None,
+            A_ub=form.a_ub if form.b_ub.size else None,
             b_ub=form.b_ub if form.b_ub.size else None,
-            A_eq=form.a_eq if form.a_eq.size else None,
+            A_eq=form.a_eq if form.b_eq.size else None,
             b_eq=form.b_eq if form.b_eq.size else None,
             bounds=list(zip(lower, upper)),
             method="highs",

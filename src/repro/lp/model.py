@@ -54,7 +54,15 @@ class StandardForm:
 
 
 class Model:
-    """A linear / mixed-integer optimisation model."""
+    """A linear / mixed-integer optimisation model.
+
+    ``objective_resolution`` optionally declares the smallest objective
+    difference that distinguishes two genuinely different solutions (for
+    Merlin's min-max objectives, the per-edge tiebreaker epsilon).  Gap-based
+    solvers scale their pruning tolerance below it so a seeded incumbent can
+    never shadow a strictly better tie — see
+    :class:`~repro.lp.branch_and_bound.BranchAndBoundSolver`.
+    """
 
     def __init__(self, name: str = "model") -> None:
         self.name = name
@@ -62,6 +70,7 @@ class Model:
         self._constraints: List[Constraint] = []
         self._objective: LinExpr = LinExpr()
         self._direction: Objective = Objective.MINIMIZE
+        self.objective_resolution: Optional[float] = None
 
     # -- variables -----------------------------------------------------------
 
@@ -149,9 +158,12 @@ class Model:
     def remove_constraints(self, constraints: Iterable[Constraint]) -> None:
         """Unregister several constraints in one pass over the row list.
 
-        Removal is by object identity, so incremental callers that kept the
-        handles returned by :meth:`add_constraint` can retract a statement's
-        rows in O(total rows) rather than O(rows removed x total rows).
+        Removal is by object identity, so callers that kept the handles
+        returned by :meth:`add_constraint` can retract a group of rows in
+        O(total rows) rather than O(rows removed x total rows).  Note the
+        provisioning pipeline itself treats models as immutable once built
+        (the incremental engine's checkpoint/restore relies on that); this
+        editing API serves ad-hoc model surgery by library users.
         """
         doomed = {id(constraint) for constraint in constraints}
         if not doomed:

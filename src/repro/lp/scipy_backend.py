@@ -15,14 +15,16 @@ under the same keys the branch-and-bound backend uses, so callers can report
 the MIP gap of ``FEASIBLE`` (time-limited) solves uniformly.
 
 ``scipy.optimize.milp`` has no MIP-start plumbing, so ``warm_start`` is
-accepted for interface compatibility and recorded as ignored; use
-:class:`~repro.lp.branch_and_bound.BranchAndBoundSolver` when warm starts
-must actually seed the search.
+accepted for interface compatibility and recorded as ignored — with a
+one-time :class:`RuntimeWarning` so callers learn their incumbent is not
+consumed; use :class:`~repro.lp.branch_and_bound.BranchAndBoundSolver` when
+warm starts must actually seed the search.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Mapping, Optional
 
 import numpy as np
@@ -39,6 +41,10 @@ class ScipySolver:
     # solve() is recorded as ignored.  Callers that pay to *compute* starts
     # (the incremental engine's incumbent projection) check this flag first.
     consumes_warm_starts = False
+
+    # One warning per process, not per solve: a controller streaming deltas
+    # through a warm-start-blind backend should hear about it once.
+    _warned_ignored_warm_start = False
 
     def __init__(
         self,
@@ -67,6 +73,21 @@ class ScipySolver:
             # HiGHS-via-scipy cannot consume MIP starts; record the fact so
             # benchmarks comparing backends can see the start was dropped.
             result.statistics["warm_start_ignored"] = 1.0
+            # The consumes_warm_starts gate keeps this quiet once highspy
+            # start plumbing lands (a consuming subclass flips the flag).
+            if (
+                not self.consumes_warm_starts
+                and not ScipySolver._warned_ignored_warm_start
+            ):
+                ScipySolver._warned_ignored_warm_start = True
+                warnings.warn(
+                    "the SciPy/HiGHS backend has no MIP-start plumbing: the "
+                    "warm start was recorded but NOT consumed (statistics "
+                    "key 'warm_start_ignored'); use "
+                    "repro.lp.BranchAndBoundSolver to seed incumbents",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return result
 
     # -- internals -------------------------------------------------------------

@@ -84,11 +84,11 @@ class Negotiator:
         only statements whose path or guarantee actually changed generate
         work (see :func:`repro.incremental.delta.policy_delta`).  If
         re-provisioning fails (e.g. the network lacks capacity), the
-        refinement is withdrawn — ``policy`` reverts to its previous value —
-        and the provisioning error propagates; a solve-time failure also
-        invalidates the compiler session, so further proposals are verified
-        but not re-provisioned until the compiler is re-seeded with a full
-        ``compile()``.
+        refinement is withdrawn and the provisioning error propagates.
+        Withdrawal is a pure rollback: ``recompile`` is transactional, so
+        the compiler session already restored itself to the pre-delta
+        state; the negotiator only reverts its own ``policy``.  The session
+        stays active, and the next proposal is re-provisioned normally.
         """
         previous = self.policy
         report = verify_refinement(self.policy, refined)
@@ -109,8 +109,8 @@ class Negotiator:
         cheap-adaptation case).  Re-provisioning failures propagate: the
         refinement was verified against the *policy*, but the network may
         still lack capacity for it.  :meth:`propose` withdraws the
-        refinement on failure; re-seeding the (now invalidated) compiler
-        session with a full ``compile()`` is the operator's decision.
+        refinement on failure; the compiler session rolled back inside
+        ``recompile`` and remains usable, so no re-seeding is needed.
         """
         holder = self._compiler_holder()
         if holder is None:

@@ -163,11 +163,11 @@ class TestDeltaOperations:
             engine.add_statement(policy.statements[0], Bandwidth(0.0))
 
 
-class TestLiveModelSplicing:
-    def test_spliced_model_equals_fresh_build(self):
-        """After any splice history the live model must be coefficient-
-        identical (up to row/column order) to a from-scratch build of the
-        current statements."""
+class TestLazyLiveModel:
+    def test_live_model_equals_fresh_build(self):
+        """After any delta history the (lazily materialized) live model must
+        be coefficient-identical (up to row/column order) to a from-scratch
+        build of the engine's current statements and topologies."""
         topology, policy, rates, logical = _figure2_inputs()
         engine = _engine(topology, policy, rates, logical)
         # Churn: remove, re-add, update rates.
@@ -176,14 +176,17 @@ class TestLiveModelSplicing:
             policy.statements[1], rates["z"].guarantee, logical=logical["z"]
         )
         engine.update_rates("x", Bandwidth.mb_per_sec(40))
-        engine.sync_objective()
 
         current_rates = {
             identifier: engine.rates_for(identifier)
             for identifier in engine.statement_ids()
         }
+        current_logical = {
+            identifier: engine.logical_for(identifier)
+            for identifier in engine.statement_ids()
+        }
         fresh = build_provisioning_model(
-            list(policy.statements), logical, current_rates, topology
+            list(policy.statements), current_logical, current_rates, topology
         )
         assert _canonical(engine.live_model) == _canonical(fresh.model)
 
@@ -197,6 +200,29 @@ class TestLiveModelSplicing:
         assert live.value_of(
             engine.live_model.variable("r_max")
         ) == pytest.approx(resolved.max_utilization, abs=1e-6)
+
+    def test_delta_path_never_materializes_the_live_model(self):
+        """The counter/spy acceptance test: session setup and deltas are
+        bookkeeping only — the spliced global model is built exactly when
+        solve_live() asks for it, and memoized until the next delta."""
+        topology, policy, rates, logical = _figure2_inputs()
+        engine = _engine(topology, policy, rates, logical)
+        assert engine.live_materializations == 0
+        engine.resolve()
+        engine.update_rates("x", Bandwidth.mb_per_sec(40))
+        engine.remove_statement("z")
+        engine.add_statement(
+            policy.statements[1], rates["z"].guarantee, logical=logical["z"]
+        )
+        engine.resolve()
+        assert engine.live_materializations == 0
+        engine.solve_live()
+        assert engine.live_materializations == 1
+        engine.solve_live()  # no intervening delta: memoized
+        assert engine.live_materializations == 1
+        engine.update_rates("x", Bandwidth.mb_per_sec(30))
+        engine.solve_live()  # the delta invalidated the memo
+        assert engine.live_materializations == 2
 
 
 class TestCachingAndPartitions:

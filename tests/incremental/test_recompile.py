@@ -167,6 +167,25 @@ class TestRecompile:
         with pytest.raises(ProvisioningError):
             compiler.prepare_incremental()
 
+    def test_session_setup_never_builds_the_live_model(self):
+        """Acceptance spy: neither engine setup nor recompiles materialize
+        the spliced live model — only solve_live() ever pays for it."""
+        topology = figure2_example(capacity=Bandwidth.gbps(2))
+        compiler = _compiler(topology, generate_code=False)
+        compiler.compile(SOURCE)
+        compiler.prepare_incremental()
+        engine = compiler._session.engine
+        assert engine.live_materializations == 0
+        compiler.recompile(
+            PolicyDelta(
+                update_rates=(RateUpdate("z", guarantee=Bandwidth.mb_per_sec(40)),)
+            )
+        )
+        compiler.recompile(PolicyDelta(remove=("z",)))
+        assert engine.live_materializations == 0
+        engine.solve_live()
+        assert engine.live_materializations == 1
+
     def test_unknown_removal_rejected(self):
         topology = figure2_example(capacity=Bandwidth.gbps(2))
         compiler = _compiler(topology, generate_code=False)
@@ -348,12 +367,13 @@ class TestSessionHygiene:
                 )
             )
 
-    def test_infeasible_delta_invalidates_session(self):
-        """A solve-time failure mid-delta must not leave a silently
-        poisoned session behind: recompile() drops it and fails loudly."""
+    def test_infeasible_delta_rolls_back_the_session(self):
+        """recompile() is a transaction: a solve-time failure rolls the
+        session back to its exact pre-delta state instead of invalidating
+        it — the error propagates, but the session stays usable."""
         topology = figure2_example(capacity=Bandwidth.gbps(2))
         compiler = _compiler(topology, generate_code=False)
-        compiler.compile(SOURCE)
+        base = compiler.compile(SOURCE)
         with pytest.raises(ProvisioningError):
             compiler.recompile(
                 PolicyDelta(
@@ -362,9 +382,20 @@ class TestSessionHygiene:
                     )
                 )
             )
-        assert not compiler.has_session
-        with pytest.raises(ProvisioningError, match="requires a prior compile"):
-            compiler.recompile(PolicyDelta())
+        assert compiler.has_session
+        unchanged = compiler.recompile(PolicyDelta())
+        assert _paths(unchanged) == _paths(base)
+        assert unchanged.rates["z"].guarantee == Bandwidth.mb_per_sec(50)
+        # A rollback restores the cached component solutions too: nothing
+        # is dirty afterwards.
+        assert unchanged.statistics.dirty_partitions == 0
+        # And the session keeps accepting (feasible) deltas normally.
+        result = compiler.recompile(
+            PolicyDelta(
+                update_rates=(RateUpdate("z", guarantee=Bandwidth.mb_per_sec(40)),)
+            )
+        )
+        assert result.rates["z"].guarantee == Bandwidth.mb_per_sec(40)
 
     def test_revert_delta_is_a_cache_hit(self):
         """Oscillating deltas (add then revert) must reuse the component
@@ -383,15 +414,16 @@ class TestSessionHygiene:
         reverted = compiler.recompile(PolicyDelta(remove=("w",)))
         assert reverted.statistics.dirty_partitions == 0
 
-    def test_codegen_failure_invalidates_session(self, monkeypatch):
+    def test_codegen_failure_rolls_back_the_session(self, monkeypatch):
         """recompile() is atomic from the caller's view: a post-solve
-        failure (code generation) also drops the session rather than
-        leaving it silently diverged from what the caller observed."""
+        failure (code generation) rolls the session back rather than
+        leaving it silently diverged from what the caller observed — and
+        once codegen recovers, the same delta applies cleanly."""
         import repro.core.compiler as compiler_module
 
         topology = figure2_example(capacity=Bandwidth.gbps(2))
         compiler = _compiler(topology)  # generate_code=True
-        compiler.compile(SOURCE)
+        base = compiler.compile(SOURCE)
 
         class ExplodingGenerator:
             def __init__(self, topology):
@@ -400,16 +432,20 @@ class TestSessionHygiene:
             def generate(self, *args, **kwargs):
                 raise RuntimeError("codegen backend unavailable")
 
+        delta = PolicyDelta(
+            update_rates=(RateUpdate("z", guarantee=Bandwidth.mb_per_sec(40)),)
+        )
         monkeypatch.setattr(compiler_module, "CodeGenerator", ExplodingGenerator)
         with pytest.raises(RuntimeError):
-            compiler.recompile(
-                PolicyDelta(
-                    update_rates=(
-                        RateUpdate("z", guarantee=Bandwidth.mb_per_sec(40)),
-                    )
-                )
-            )
-        assert not compiler.has_session
+            compiler.recompile(delta)
+        monkeypatch.undo()
+        assert compiler.has_session
+        unchanged = compiler.recompile(PolicyDelta())
+        assert _paths(unchanged) == _paths(base)
+        assert unchanged.rates["z"].guarantee == Bandwidth.mb_per_sec(50)
+        retried = compiler.recompile(delta)
+        assert retried.rates["z"].guarantee == Bandwidth.mb_per_sec(40)
+        assert retried.instructions is not None
 
     def test_unprovisionable_delta_rejected_without_side_effects(self):
         """A guarantee on a statement with no inferable endpoints is

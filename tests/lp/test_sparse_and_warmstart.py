@@ -66,6 +66,19 @@ class TestSparseStandardForm:
         assert dense_result.objective == sparse_result.objective == 20.0
         assert dense_result.values_by_name() == sparse_result.values_by_name()
 
+    def test_branch_and_bound_consumes_sparse_form_end_to_end(self):
+        """The B&B backend defaults to the sparse export for its
+        relaxations (and warm-start validation); both layouts must agree."""
+        model, _ = _knapsack()
+        sparse_result = BranchAndBoundSolver().solve(model)
+        dense_result = BranchAndBoundSolver(sparse=False).solve(model)
+        assert sparse_result.objective == dense_result.objective == 20.0
+        assert sparse_result.values_by_name() == dense_result.values_by_name()
+        # Warm-start validation multiplies the (sparse) matrices too.
+        start = {name: value for name, value in sparse_result.values_by_name().items()}
+        warm = BranchAndBoundSolver().solve(model, warm_start=start)
+        assert warm.statistics["warm_start_used"] == 1.0
+
     def test_milp_diagnostics_surfaced(self):
         model, _ = _knapsack()
         result = ScipySolver().solve(model)
@@ -105,6 +118,97 @@ class TestWarmStart:
         result = ScipySolver().solve(model, warm_start={"x0": 1.0})
         assert result.statistics["warm_start_ignored"] == 1.0
         assert result.objective == pytest.approx(20.0)
+
+    def test_scipy_backend_warns_once_about_ignored_start(self, monkeypatch):
+        """A dropped MIP start is easy to miss in statistics alone: the
+        backend warns the first time (and only the first time) a start is
+        recorded-ignored.  Backends that consume starts stay silent."""
+        import warnings
+
+        model, _ = _knapsack()
+        monkeypatch.setattr(ScipySolver, "_warned_ignored_warm_start", False)
+        with pytest.warns(RuntimeWarning, match="NOT consumed"):
+            ScipySolver().solve(model, warm_start={"x0": 1.0})
+        # One-time: the second ignored start is silent (fresh instance too).
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ScipySolver().solve(model, warm_start={"x0": 1.0})
+        # A future start-consuming backend (highspy plumbing) is gated off.
+        monkeypatch.setattr(ScipySolver, "_warned_ignored_warm_start", False)
+
+        class ConsumingScipy(ScipySolver):
+            consumes_warm_starts = True
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ConsumingScipy().solve(model, warm_start={"x0": 1.0})
+
+    def test_warm_and_cold_solves_pick_identical_tiebreaker_optima(self):
+        """The warm-start determinism fix: when the model declares its
+        objective resolution (the tiebreaker epsilon) below the solver's
+        default absolute gap, a seeded incumbent that is optimal-but-for-
+        the-tiebreaker must not shadow the strictly better tie."""
+        def tie_model():
+            model = Model()
+            x = model.add_binary("x")
+            model.minimize(LinExpr.sum_of([1e-9 * x]))
+            return model, x
+
+        # Without a declared resolution, the 1e-9-worse incumbent survives
+        # inside the default 1e-6 gap: warm diverges from cold.
+        model, x = tie_model()
+        stale = BranchAndBoundSolver().solve(model, warm_start={"x": 1.0})
+        assert stale.values_by_name()["x"] == 1.0
+
+        # With the resolution declared (as set_provisioning_objective does
+        # for min-max models), the gap scales below the epsilon and the
+        # warm solve finds the same optimum as a cold one.
+        model, x = tie_model()
+        model.objective_resolution = 1e-9
+        cold = BranchAndBoundSolver().solve(model)
+        warm = BranchAndBoundSolver().solve(model, warm_start={"x": 1.0})
+        assert warm.statistics["warm_start_used"] == 1.0
+        assert cold.values_by_name()["x"] == 0.0
+        assert warm.values_by_name() == cold.values_by_name()
+
+    def test_provisioning_models_declare_objective_resolution(self):
+        """The min-max provisioning objectives publish their tiebreaker
+        epsilon so gap-based solvers can scale below it."""
+        from repro.core.localization import localize
+        from repro.core.logical import build_logical_topology, infer_endpoints
+        from repro.core.parser import parse_policy
+        from repro.core.provisioning import build_provisioning_model
+        from repro.topology.generators import figure2_example
+        from repro.units import Bandwidth
+
+        topology = figure2_example(capacity=Bandwidth.gbps(2))
+        policy = parse_policy(
+            """
+            [ z : (eth.src = 00:00:00:00:00:01 and
+                   eth.dst = 00:00:00:00:00:02) -> .* ],
+            min(z, 50MB/s)
+            """,
+            topology=topology,
+        )
+        rates = localize(policy)
+        statement = policy.statements[0]
+        source, destination = infer_endpoints(statement, topology)
+        logical = {
+            "z": build_logical_topology(
+                statement, topology, {}, source=source, destination=destination
+            )
+        }
+        built = build_provisioning_model([statement], logical, rates, topology)
+        resolution = built.model.objective_resolution
+        assert resolution is not None and resolution > 0.0
+        # The declared resolution IS the per-edge tiebreaker coefficient.
+        tiebreaker_coefficients = {
+            coefficient
+            for variable, coefficient in built.model.objective.coefficients.items()
+            if variable is not built.r_max
+        }
+        assert len(tiebreaker_coefficients) == 1
+        assert next(iter(tiebreaker_coefficients)) == pytest.approx(resolution)
 
     def test_model_solve_passes_warm_start_through(self):
         model, _ = _knapsack()
