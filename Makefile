@@ -1,31 +1,42 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test check bench bench-smoke bench-reprovision
+.PHONY: test check bench bench-smoke bench-reprovision bench-churn
 
 # Tier-1 verification: the full unit + benchmark suite at quick scale.
 test:
 	$(PYTEST) -x -q
 
 # CI gate: tier-1 tests plus a byte-compile of the whole source tree
-# (catches syntax errors in modules the suite does not import).
+# (catches syntax errors in modules the suite does not import) plus the
+# seeded churn replay (zero session invalidations under failures).
 check:
 	$(PYTEST) -x -q
 	python -m compileall -q src
+	$(PYTEST) -q benchmarks/test_churn.py
 
 # The full benchmark suite (set MERLIN_BENCH_SCALE=full for paper scale).
 bench:
 	$(PYTEST) -q benchmarks
 
 # Fast smoke: the smallest Figure 8 scaling point, one incremental
-# re-provisioning round trip, and the footprint-tightening partition guard
+# re-provisioning round trip, the footprint-tightening partition guard
 # (the pod-tenant workload plus one `.*` statement must keep >= one MIP
-# component per tenant).
+# component per tenant), and the seeded churn replay.
 bench-smoke:
 	$(PYTEST) -q benchmarks/test_fig8_scaling.py::test_fig8_smallest_point_smoke \
 		benchmarks/test_fig10b_reprovisioning.py::test_reprovision_smoke \
-		benchmarks/test_fig10b_reprovisioning.py::test_footprint_partitioning_smoke
+		benchmarks/test_fig10b_reprovisioning.py::test_footprint_partitioning_smoke \
+		benchmarks/test_churn.py
 
 # Figure 10b': incremental re-provisioning latency vs full recompiles
 # (writes benchmarks/results/fig10b_reprovisioning.txt).
 bench-reprovision:
 	$(PYTEST) -q benchmarks/test_fig10b_reprovisioning.py
+
+# Churn & failure scenario replay: a seeded 200-event stream on the
+# arity-4 fat tree replayed against one transactional session, asserting
+# zero invalidations and slack-widening recovery of every cost-bound
+# infeasibility (writes benchmarks/results/churn_replay.txt).
+# MERLIN_BENCH_SCALE=full runs the 500-event arity-6 stream.
+bench-churn:
+	$(PYTEST) -q benchmarks/test_churn.py

@@ -1,0 +1,93 @@
+"""Surviving churn: failures, flash crowds, and self-healing slack widening.
+
+A walkthrough of the scenario engine and the unified session API:
+
+1. build a scenario population — an arity-4 fat tree where every pod gets
+   a 5-switch backup chain (4 hops longer than the fabric paths, so the
+   default footprint slack of 2 prunes it away) and a DPI middlebox —
+   plus a seeded 60-event churn stream,
+2. open the live session (``MerlinCompiler.session()``) after one full
+   compile, and apply a hand-built failure: when a pod loses a fabric
+   path, the slack-2 pruned component model turns infeasible, and the
+   provisioner widens the slack geometrically (2 -> 4) until the backup
+   chain is admitted — visible in ``CompilationStatistics``, not as an
+   error,
+3. roll the whole experiment back with an explicit checkpoint, showing
+   session state is transactional at any granularity,
+4. replay the full generated stream with the scenario driver, which also
+   runs the fluid simulator in lockstep after every event and finally
+   proves the surviving session identical to a fresh compile.
+
+Run with:  PYTHONPATH=src python examples/churn_failover.py
+"""
+
+from repro.incremental import PolicyDelta, RateUpdate, TopologyDelta
+from repro.scenarios import ScenarioConfig, generate_scenario, replay
+from repro.core import MerlinCompiler
+from repro.units import Bandwidth
+
+
+def main() -> None:
+    config = ScenarioConfig(seed=1, events=60)
+    scenario = generate_scenario(config)
+    population = scenario.population
+
+    print(f"population: fat-tree k={config.arity}, "
+          f"{len(population.base_rates_mbps)} guaranteed pairs, "
+          f"{len(population.pods)} pods with backup chains + middleboxes")
+
+    # -- 1+2: one compile, then a failure applied to the live session -----
+    compiler = MerlinCompiler(
+        topology=population.topology,
+        placements=population.placements,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+    )
+    compiler.compile(population.policy)
+
+    with compiler.session() as session:
+        token = session.checkpoint()
+
+        pod = population.pods[0]
+        # A flash crowd: both of pod 0's base pairs renegotiate up to
+        # 225 Mbps (450 Mbps total — more than one 400 Mbps fabric path).
+        session.apply(
+            PolicyDelta(
+                update_rates=tuple(
+                    RateUpdate(identifier, guarantee=Bandwidth.mbps(225))
+                    for identifier in pod.statement_ids
+                )
+            )
+        )
+        # Now kill one of the pod's two aggregation switches: the pairs no
+        # longer fit the single surviving fabric path, so the slack-2
+        # model is infeasible — and the session heals itself by widening
+        # the slack until the backup chain is admitted.
+        result = session.apply(
+            TopologyDelta(fail_nodes=(pod.aggregation[0],))
+        )
+        statistics = result.statistics
+        print(f"\nfailed {pod.aggregation[0]}: "
+              f"slack_retries={statistics.slack_retries}, "
+              f"widened to slack={statistics.footprint_slack_used}")
+        for identifier in pod.statement_ids:
+            path = result.paths[identifier].path
+            via = "backup chain" if any(
+                location in pod.chain for location in path
+            ) else "fabric"
+            print(f"  {identifier}: {' -> '.join(path)}  [{via}]")
+
+        # -- 3: abandon the hand-built experiment ------------------------
+        session.rollback(token)
+        print(f"\nrolled back: failed_nodes={sorted(session.failed_nodes)}")
+
+    # -- 4: replay the generated stream in simulator lockstep -------------
+    print(f"\nreplaying the {config.events}-event seeded stream "
+          f"(seed={config.seed}) ...")
+    report = replay(scenario)
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -27,9 +27,11 @@ from .allocation import CompilationResult, PathAssignment, RateAllocation
 from .compiler import MerlinCompiler, compile_policy
 from .localization import LocalRates, localize
 from .logical import LogicalTopology, build_logical_topology
+from .options import DEFAULT_FOOTPRINT_SLACK, MAX_WIDENED_SLACK, ProvisionOptions
 from .parser import parse_policy
 from .preprocessor import preprocess
 from .provisioning import PathSelectionHeuristic, provision
+from .session import Session
 from .sink_tree import SinkTree, compute_sink_tree, compute_sink_trees
 
 __all__ = [
@@ -48,6 +50,10 @@ __all__ = [
     "RateAllocation",
     "MerlinCompiler",
     "compile_policy",
+    "DEFAULT_FOOTPRINT_SLACK",
+    "MAX_WIDENED_SLACK",
+    "ProvisionOptions",
+    "Session",
     "LocalRates",
     "localize",
     "LogicalTopology",

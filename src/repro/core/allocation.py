@@ -84,6 +84,16 @@ class CompilationStatistics:
     ``dirty_partitions`` report how the provisioning MIP decomposed and how
     much of it an incremental recompile actually re-solved (for a full
     compile the two are equal).
+
+    The slack-widening fields report the self-healing retries of the
+    cost-bound footprint pruning: ``slack_retries`` counts widening rounds
+    taken because pruning had excluded every surviving path from some
+    component, and ``footprint_slack_used`` is the widest slack any
+    component was ultimately solved at (``float('inf')`` encodes
+    "untightened"; ``None`` means tightening never ran, e.g. a recompile
+    with no guaranteed statements).  ``component_solve_seconds`` holds each
+    final component's solver wall-time, in the provisioning result's
+    component order, for per-component latency percentiles.
     """
 
     lp_construction_seconds: float = 0.0
@@ -101,6 +111,9 @@ class CompilationStatistics:
     mip_gap: Optional[float] = None
     num_partitions: int = 0
     dirty_partitions: int = 0
+    slack_retries: int = 0
+    footprint_slack_used: Optional[float] = None
+    component_solve_seconds: Tuple[float, ...] = ()
 
     def record_provisioning(self, provisioning) -> None:
         """Copy solver diagnostics from a ``ProvisioningResult``."""
@@ -114,6 +127,13 @@ class CompilationStatistics:
         self.num_partitions = provisioning.num_partitions
         self.dirty_partitions = int(
             statistics.get("partitions_dirty", provisioning.num_partitions)
+        )
+        self.slack_retries = int(statistics.get("slack_retries", 0.0))
+        if "footprint_slack_used" in statistics:
+            self.footprint_slack_used = float(statistics["footprint_slack_used"])
+        self.component_solve_seconds = tuple(
+            solution.solve_seconds
+            for solution in provisioning.partition_solutions
         )
 
     def as_row(self) -> Dict[str, object]:
@@ -133,6 +153,12 @@ class CompilationStatistics:
             "mip_gap": self.mip_gap if self.mip_gap is not None else "",
             "partitions": float(self.num_partitions),
             "dirty_partitions": float(self.dirty_partitions),
+            "slack_retries": float(self.slack_retries),
+            "footprint_slack_used": (
+                self.footprint_slack_used
+                if self.footprint_slack_used is not None
+                else ""
+            ),
         }
 
 

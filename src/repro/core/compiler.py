@@ -43,6 +43,7 @@ from .allocation import (
 from .ast import Policy, Statement
 from .localization import LocalRates, localize, localized_formula
 from .logical import LogicalTopology, build_logical_topology, infer_endpoints
+from .options import _UNSET, ProvisionOptions, coalesce_options
 from .parser import parse_policy
 from .preprocessor import DEFAULT_STATEMENT_ID, preprocess
 from .provisioning import (
@@ -74,6 +75,21 @@ class _CompilerSession:
     sink_trees: Dict
     infeasible: List[str]
     provisioning: ProvisioningResult
+    #: The topology the session currently compiles against: the compiler's
+    #: pristine topology minus the failed elements below.  Every logical
+    #: build, endpoint inference, sink tree, and generated instruction of a
+    #: recompile uses this, so session results stay identical to a
+    #: from-scratch compile on the degraded network.
+    active_topology: Optional[Topology] = None
+    failed_links: frozenset = frozenset()
+    failed_nodes: frozenset = frozenset()
+    #: Per-statement physical-link footprint of the *untightened* product
+    #: graph on the *pristine* topology.  Because the product construction
+    #: is monotone in the topology (a subgraph's product is a subgraph of
+    #: the pristine product), a topology change can only affect a
+    #: statement whose pristine footprint intersects the changed links —
+    #: the exact test the topology-delta path uses to skip rebuilds.
+    base_footprints: Dict[str, frozenset] = field(default_factory=dict)
     engine: Optional[object] = None  # IncrementalProvisioner, created lazily
     #: Whether the session's "default" statement is the preprocessor's
     #: generated catch-all (as opposed to a user-authored statement that
@@ -99,6 +115,10 @@ class _CompilerSession:
             sink_trees=self.sink_trees,
             infeasible=list(self.infeasible),
             provisioning=self.provisioning,
+            active_topology=self.active_topology,
+            failed_links=self.failed_links,
+            failed_nodes=self.failed_nodes,
+            base_footprints=dict(self.base_footprints),
             generated_default=self.generated_default,
             engine_checkpoint=(
                 self.engine.checkpoint() if self.engine is not None else None
@@ -116,6 +136,10 @@ class _CompilerSession:
         self.sink_trees = saved.sink_trees
         self.infeasible = list(saved.infeasible)
         self.provisioning = saved.provisioning
+        self.active_topology = saved.active_topology
+        self.failed_links = saved.failed_links
+        self.failed_nodes = saved.failed_nodes
+        self.base_footprints = dict(saved.base_footprints)
         self.generated_default = saved.generated_default
         if self.engine is not None and saved.engine_checkpoint is not None:
             self.engine.restore(saved.engine_checkpoint)
@@ -134,6 +158,10 @@ class _SessionCheckpoint:
     sink_trees: Dict
     infeasible: List[str]
     provisioning: ProvisioningResult
+    active_topology: Optional[Topology]
+    failed_links: frozenset
+    failed_nodes: frozenset
+    base_footprints: Dict[str, frozenset]
     generated_default: bool
     engine_checkpoint: Optional[object]
 
@@ -147,12 +175,18 @@ class MerlinCompiler:
     described in §3.2.  ``heuristic`` selects the path-selection objective,
     ``overlap`` selects how the pre-processor treats overlapping statement
     predicates, and ``generate_code`` can be disabled for pure provisioning
-    benchmarks.  ``max_solver_workers`` > 1 lets both the full compile and
-    the incremental engine solve link-disjoint MIP components in a process
-    pool.  ``footprint_slack`` controls cost-bound footprint tightening in
-    both paths (extra physical hops over each statement's optimum; ``None``
-    disables it) — tightening is what keeps unconstrained ``.*`` paths from
-    collapsing the partition decomposition into one MIP component.
+    benchmarks.
+
+    Provisioning knobs — solver backend, partitioning, worker pool,
+    footprint slack, slack widening, warm starts — live in a single
+    :class:`~repro.core.options.ProvisionOptions` passed as ``options`` and
+    forwarded unchanged to :func:`provision` and the incremental engine, so
+    ``compile()`` and ``recompile()`` provably solve under the same
+    configuration.  The legacy ``solver`` / ``max_solver_workers`` /
+    ``footprint_slack`` keyword arguments still work (they override the
+    corresponding option and emit :class:`DeprecationWarning`); after
+    construction the three attributes are re-bound to the resolved values,
+    so existing readers keep working.
     """
 
     topology: Topology
@@ -162,12 +196,27 @@ class MerlinCompiler:
     add_catch_all: bool = True
     generate_code: bool = True
     localization_weights: Optional[Mapping[str, float]] = None
-    solver: Optional[object] = None
-    max_solver_workers: int = 0
-    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK
+    options: Optional[ProvisionOptions] = None
+    solver: Optional[object] = _UNSET
+    max_solver_workers: int = _UNSET
+    footprint_slack: Optional[int] = _UNSET
     _session: Optional[_CompilerSession] = field(
         default=None, init=False, repr=False, compare=False
     )
+
+    def __post_init__(self) -> None:
+        resolved = coalesce_options(
+            self.options,
+            owner="MerlinCompiler",
+            stacklevel=4,
+            solver=self.solver,
+            max_workers=self.max_solver_workers,
+            footprint_slack=self.footprint_slack,
+        )
+        self.options = resolved
+        self.solver = resolved.resolved_solver()
+        self.max_solver_workers = resolved.max_workers
+        self.footprint_slack = resolved.footprint_slack
 
     def compile(self, policy: Union[str, Policy]) -> CompilationResult:
         """Compile a policy (source text or AST) into a :class:`CompilationResult`."""
@@ -214,6 +263,7 @@ class MerlinCompiler:
         lp_construction_seconds = 0.0
         construction_start = time.perf_counter()
         logical_topologies = {}
+        base_footprints: Dict[str, frozenset] = {}
         for statement in guaranteed:
             source, destination = endpoints[statement.identifier]
             if source is None or destination is None:
@@ -222,8 +272,12 @@ class MerlinCompiler:
                     "guarantee but its source/destination hosts cannot be "
                     "determined from its predicate or path expression"
                 )
-            logical_topologies[statement.identifier] = self._logical_for(
+            logical = self._logical_for(
                 logical_cache, statement, source, destination
+            )
+            logical_topologies[statement.identifier] = logical
+            base_footprints[statement.identifier] = frozenset(
+                logical.physical_links_used()
             )
         lp_construction_seconds += time.perf_counter() - construction_start
 
@@ -234,9 +288,7 @@ class MerlinCompiler:
             self.topology,
             self.placements,
             heuristic=self.heuristic,
-            solver=self.solver,
-            max_workers=self.max_solver_workers,
-            footprint_slack=self.footprint_slack,
+            options=self.options,
         )
         lp_construction_seconds += provisioning.lp_construction_seconds
 
@@ -255,6 +307,9 @@ class MerlinCompiler:
                 continue
             source, destination = endpoints[statement.identifier]
             logical = self._logical_for(logical_cache, statement, source, destination)
+            base_footprints[statement.identifier] = frozenset(
+                logical.physical_links_used()
+            )
             assignment = self._best_effort_assignment(statement, logical)
             if assignment is None:
                 infeasible.append(statement.identifier)
@@ -309,6 +364,8 @@ class MerlinCompiler:
             sink_trees=sink_trees,
             infeasible=infeasible,
             provisioning=provisioning,
+            active_topology=self.topology,
+            base_footprints=base_footprints,
             generated_default=preprocess_result.added_default,
         )
 
@@ -327,8 +384,12 @@ class MerlinCompiler:
     # -- the incremental fast path ------------------------------------------------
 
     def recompile(self, delta) -> CompilationResult:
-        """Apply a :class:`~repro.incremental.delta.PolicyDelta` incrementally.
+        """Apply a policy or topology delta incrementally.
 
+        Accepts a :class:`~repro.incremental.delta.PolicyDelta` (statement
+        membership / rate changes) or a
+        :class:`~repro.incremental.delta.TopologyDelta` (link and node
+        failures / recoveries, dispatched to the topology path below).
         Requires a prior :meth:`compile` (whose session seeds the engine);
         re-solves only the link-disjoint MIP components the delta touches
         and returns a full :class:`CompilationResult` for the updated
@@ -361,6 +422,10 @@ class MerlinCompiler:
             raise ProvisioningError(
                 "recompile() requires a prior compile(); no session is active"
             )
+        from ..incremental.delta import TopologyDelta
+
+        if isinstance(delta, TopologyDelta):
+            return self._recompile_topology(delta)
         if delta.remove and self.overlap == "priority":
             raise ProvisioningError(
                 "overlap='priority' sessions cannot remove statements "
@@ -387,34 +452,9 @@ class MerlinCompiler:
                 self._refresh_catch_all(session)
             self._refresh_sink_trees(session)
             rateless_seconds += time.perf_counter() - rateless_start
-
-            provisioning = engine.resolve()
-            session.provisioning = provisioning
-
-            paths: Dict[str, PathAssignment] = dict(provisioning.paths)
-            paths.update(session.best_effort_paths)
-            rates = {
-                identifier: RateAllocation.from_local_rates(local)
-                for identifier, local in session.local_rates.items()
-            }
-            policy = Policy(
-                statements=tuple(session.statements.values()),
-                formula=localized_formula(session.local_rates),
+            result = self._finalize_recompile(
+                session, total_start, rateless_seconds
             )
-
-            codegen_seconds = 0.0
-            instructions = None
-            if self.generate_code:
-                codegen_start = time.perf_counter()
-                instructions = CodeGenerator(topology=self.topology).generate(
-                    policy,
-                    paths,
-                    rates,
-                    session.sink_trees,
-                    endpoints=session.endpoints,
-                    infeasible_statements=tuple(session.infeasible),
-                )
-                codegen_seconds = time.perf_counter() - codegen_start
         except Exception:
             # The delta was already applied to the session/engine when the
             # failure surfaced (an infeasible solve, a code-generation
@@ -427,6 +467,210 @@ class MerlinCompiler:
             # need only revert their own policy.
             session.restore(saved)
             raise
+        return result
+
+    def _recompile_topology(self, delta) -> CompilationResult:
+        """Apply a :class:`~repro.incremental.delta.TopologyDelta`.
+
+        The session tracks the cumulative failed-element sets; each delta
+        edits them, derives the new *active* topology from the pristine one,
+        and rebuilds only the statements whose pristine untightened product
+        footprint touches a changed link (the product construction is
+        monotone in the topology, so an untouched footprint proves the
+        statement's product graph — and therefore its component model —
+        is unchanged).  Rebuilt statements whose edge set actually changed
+        bump their engine revision; the shared resolve then re-solves
+        exactly the affected components, widening footprint slack where a
+        failure pruned away every surviving path.  The same transaction
+        discipline as the policy path applies: any failure (validation,
+        infeasible solve, codegen) rolls the session — failed sets, active
+        topology, logical topologies, engine state — back to the
+        pre-delta checkpoint.
+        """
+        total_start = time.perf_counter()
+        session = self._session
+        engine = self._ensure_engine(session)
+        self._validate_topology_delta(session, delta)
+        saved = session.checkpoint()
+        try:
+            rateless_start = time.perf_counter()
+            failed_links = set(session.failed_links)
+            failed_links.update(delta.fail_links)
+            failed_links.difference_update(delta.recover_links)
+            failed_nodes = set(session.failed_nodes)
+            failed_nodes.update(delta.fail_nodes)
+            failed_nodes.difference_update(delta.recover_nodes)
+            active = (
+                self.topology.without(links=failed_links, nodes=failed_nodes)
+                if failed_links or failed_nodes
+                else self.topology
+            )
+            session.active_topology = active
+            session.failed_links = frozenset(failed_links)
+            session.failed_nodes = frozenset(failed_nodes)
+            # Cached products were built against the previous active
+            # topology; the (path, endpoints) keys do not encode it.
+            session.logical_cache = {}
+            engine.set_topology(active)
+            self._rebuild_affected(session, engine, active, self._changed_links(delta))
+            if session.sink_trees:
+                # Population unchanged, so *whether* sink trees are needed
+                # is unchanged — but their routes must follow the active
+                # fabric.
+                session.sink_trees = compute_sink_trees(active)
+            rateless_seconds = time.perf_counter() - rateless_start
+            result = self._finalize_recompile(
+                session, total_start, rateless_seconds
+            )
+        except Exception:
+            # Same transaction discipline as the policy path; the engine
+            # checkpoint carries the previous topology, so restore() also
+            # reverts set_topology().
+            session.restore(saved)
+            raise
+        return result
+
+    def _validate_topology_delta(self, session, delta) -> None:
+        """Reject a topology delta before any session mutation.
+
+        Failures and recoveries are absolute edits: failing an
+        already-failed element (including twice within one delta) or
+        recovering a healthy one is an error, so replaying an event stream
+        is unambiguous.  Unknown links/nodes raise
+        :class:`~repro.errors.TopologyError` from the pristine-topology
+        lookups.  Within one delta, failures apply before recoveries.
+        """
+        failed_links = set(session.failed_links)
+        for source, target in delta.fail_links:
+            self.topology.link(source, target)
+            if (source, target) in failed_links:
+                raise ProvisioningError(
+                    f"link {source!r}-{target!r} is already failed"
+                )
+            failed_links.add((source, target))
+        for source, target in delta.recover_links:
+            if (source, target) not in failed_links:
+                raise ProvisioningError(
+                    f"cannot recover link {source!r}-{target!r}: it is not failed"
+                )
+            failed_links.discard((source, target))
+        failed_nodes = set(session.failed_nodes)
+        for name in delta.fail_nodes:
+            node = self.topology.node(name)
+            if node.is_host:
+                raise ProvisioningError(
+                    f"cannot fail host {name!r}: only switches and "
+                    "middleboxes can fail"
+                )
+            if name in failed_nodes:
+                raise ProvisioningError(f"node {name!r} is already failed")
+            failed_nodes.add(name)
+        for name in delta.recover_nodes:
+            if name not in failed_nodes:
+                raise ProvisioningError(
+                    f"cannot recover node {name!r}: it is not failed"
+                )
+            failed_nodes.discard(name)
+
+    def _changed_links(self, delta) -> frozenset:
+        """The physical links a topology delta touches, as sorted pairs.
+
+        A failed/recovered node contributes all its pristine incident
+        links — exactly the edges its disappearance removes from (or its
+        return restores to) the active topology.
+        """
+        changed = set(delta.fail_links) | set(delta.recover_links)
+        for name in tuple(delta.fail_nodes) + tuple(delta.recover_nodes):
+            for neighbor in self.topology.neighbors(name):
+                changed.add(tuple(sorted((name, neighbor))))
+        return frozenset(changed)
+
+    def _rebuild_affected(self, session, engine, active, changed) -> None:
+        """Rebuild the product graphs whose pristine footprint intersects
+        ``changed`` links, against the ``active`` topology.
+
+        Guaranteed statements whose rebuilt edge set differs replace their
+        logical in the engine (revision bump → affected components
+        re-solve); an identical edge set (e.g. a recovered link no
+        cost-bounded path ever used) is skipped entirely, keeping cached
+        component solutions valid.  A guaranteed statement with *no*
+        surviving path raises (and rolls the transaction back) — the
+        network can no longer carry its guarantee at all.  Constrained
+        best-effort statements re-run their product-graph BFS and may move
+        between feasible and infeasible.
+        """
+        for identifier, footprint in session.base_footprints.items():
+            if not (footprint & changed):
+                continue
+            statement = session.statements.get(identifier)
+            if statement is None:
+                continue
+            source, destination = session.endpoints[identifier]
+            logical = self._logical_for(
+                session.logical_cache, statement, source, destination,
+                topology=active,
+            )
+            if session.local_rates[identifier].is_guaranteed:
+                if logical.num_edges() == 0:
+                    raise ProvisioningError(
+                        f"statement {identifier!r} has no feasible path "
+                        "satisfying its path expression on the degraded "
+                        "topology"
+                    )
+                previous = session.guaranteed_logical[identifier]
+                if set(previous.edges) == set(logical.edges):
+                    continue
+                session.guaranteed_logical[identifier] = logical
+                engine.replace_logical(identifier, logical)
+            else:
+                assignment = self._best_effort_assignment(
+                    statement, logical, topology=active
+                )
+                session.best_effort_paths.pop(identifier, None)
+                if identifier in session.infeasible:
+                    session.infeasible.remove(identifier)
+                if assignment is None:
+                    session.infeasible.append(identifier)
+                else:
+                    session.best_effort_paths[identifier] = assignment
+
+    def _finalize_recompile(
+        self, session, total_start: float, rateless_seconds: float
+    ) -> CompilationResult:
+        """Solve, regenerate, and package the post-delta result.
+
+        The shared tail of the policy- and topology-delta paths; runs
+        inside the caller's transaction try-block, so a raise here (an
+        infeasible solve, a codegen error) triggers the rollback.
+        """
+        active = session.active_topology or self.topology
+        provisioning = session.engine.resolve()
+        session.provisioning = provisioning
+
+        paths: Dict[str, PathAssignment] = dict(provisioning.paths)
+        paths.update(session.best_effort_paths)
+        rates = {
+            identifier: RateAllocation.from_local_rates(local)
+            for identifier, local in session.local_rates.items()
+        }
+        policy = Policy(
+            statements=tuple(session.statements.values()),
+            formula=localized_formula(session.local_rates),
+        )
+
+        codegen_seconds = 0.0
+        instructions = None
+        if self.generate_code:
+            codegen_start = time.perf_counter()
+            instructions = CodeGenerator(topology=active).generate(
+                policy,
+                paths,
+                rates,
+                session.sink_trees,
+                endpoints=session.endpoints,
+                infeasible_statements=tuple(session.infeasible),
+            )
+            codegen_seconds = time.perf_counter() - codegen_start
 
         guaranteed = [
             identifier
@@ -455,13 +699,31 @@ class MerlinCompiler:
             statistics=statistics,
             link_reservations=provisioning.link_reservations,
         )
-        result.attach_link_capacities(self._link_capacities())
+        result.attach_link_capacities(self._link_capacities(active))
         return result
 
     @property
     def has_session(self) -> bool:
         """Whether a compile session is active (recompile is available)."""
         return self._session is not None
+
+    def session(self):
+        """A :class:`~repro.core.session.Session` facade over the live session.
+
+        Requires a prior :meth:`compile`.  The facade is the supported
+        surface for callers that stream changes — scenario drivers, the
+        negotiator — offering ``apply(delta_or_event)`` plus explicit
+        ``checkpoint()`` / ``rollback()`` without reaching into compiler or
+        engine internals.  It can be used as a context manager; several
+        facades over one compiler share the same underlying session.
+        """
+        from .session import Session
+
+        if self._session is None:
+            raise ProvisioningError(
+                "session() requires a prior compile(); no session is active"
+            )
+        return Session(self)
 
     def session_statement(self, identifier: str) -> Optional[Statement]:
         """The active session's current statement for ``identifier``.
@@ -506,17 +768,19 @@ class MerlinCompiler:
 
     # -- session internals ----------------------------------------------------------
 
+    def _active(self, session: _CompilerSession) -> Topology:
+        """The topology the session currently compiles against."""
+        return session.active_topology or self.topology
+
     def _ensure_engine(self, session: _CompilerSession):
         if session.engine is None:
             from ..incremental.engine import IncrementalProvisioner
 
             engine = IncrementalProvisioner(
-                self.topology,
+                self._active(session),
                 self.placements,
                 heuristic=self.heuristic,
-                solver=self.solver,
-                max_workers=self.max_solver_workers,
-                footprint_slack=self.footprint_slack,
+                options=self.options,
             )
             for identifier, logical in session.guaranteed_logical.items():
                 local = session.local_rates[identifier]
@@ -526,7 +790,10 @@ class MerlinCompiler:
                     cap=local.cap,
                     logical=logical,
                 )
-            engine.prime(session.provisioning.partition_solutions)
+            engine.prime(
+                session.provisioning.partition_solutions,
+                infeasible=session.provisioning.infeasible_components,
+            )
             session.engine = engine
         return session.engine
 
@@ -542,6 +809,7 @@ class MerlinCompiler:
         del session.local_rates[identifier]
         session.endpoints.pop(identifier, None)
         session.best_effort_paths.pop(identifier, None)
+        session.base_footprints.pop(identifier, None)
         if identifier in session.infeasible:
             session.infeasible.remove(identifier)
 
@@ -558,11 +826,17 @@ class MerlinCompiler:
         )
         session.statements[identifier] = statement
         session.local_rates[identifier] = local
-        session.endpoints[identifier] = infer_endpoints(statement, self.topology)
+        session.endpoints[identifier] = infer_endpoints(
+            statement, self._active(session)
+        )
         if local.is_guaranteed:
             self._enter_guaranteed(session, engine, statement, local)
         else:
             self._enter_best_effort(session, statement)
+            if not _is_unconstrained_path(statement.path):
+                session.base_footprints[identifier] = self._base_footprint(
+                    session, statement
+                )
 
     def _update_rates(self, session, engine, update) -> None:
         identifier = update.identifier
@@ -603,10 +877,18 @@ class MerlinCompiler:
                 "from its predicate or path expression"
             )
         logical = self._logical_for(
-            session.logical_cache, statement, source, destination
+            session.logical_cache, statement, source, destination,
+            topology=self._active(session),
         )
         session.guaranteed_logical[identifier] = logical
         session.best_effort_paths.pop(identifier, None)
+        if identifier not in session.base_footprints:
+            # Adds record their footprint up front; this covers promotions
+            # of unconstrained best-effort statements (never tracked —
+            # sink trees serve them) into the MIP.
+            session.base_footprints[identifier] = self._base_footprint(
+                session, statement
+            )
         engine.add_statement(
             statement, local.guarantee, cap=local.cap, logical=logical
         )
@@ -622,14 +904,45 @@ class MerlinCompiler:
             return
         identifier = statement.identifier
         source, destination = session.endpoints[identifier]
+        active = self._active(session)
         logical = self._logical_for(
-            session.logical_cache, statement, source, destination
+            session.logical_cache, statement, source, destination,
+            topology=active,
         )
-        assignment = self._best_effort_assignment(statement, logical)
+        assignment = self._best_effort_assignment(statement, logical, topology=active)
         if assignment is None:
             session.infeasible.append(identifier)
         else:
             session.best_effort_paths[identifier] = assignment
+
+    def _base_footprint(self, session, statement: Statement) -> frozenset:
+        """The statement's untightened product footprint on the *pristine*
+        topology.
+
+        The topology-delta path tests affectedness against pristine
+        footprints: the product construction is monotone in the topology,
+        so any active product is a subgraph of the pristine one, and a
+        recovered link can only matter to statements whose pristine product
+        could use it.  When no failures are active the session cache (built
+        on the pristine topology) serves the build; during failures the
+        cache holds *active* products, so the pristine one is built
+        uncached.
+        """
+        if self._active(session) is self.topology:
+            source, destination = session.endpoints[statement.identifier]
+            logical = self._logical_for(
+                session.logical_cache, statement, source, destination
+            )
+        else:
+            source, destination = infer_endpoints(statement, self.topology)
+            logical = build_logical_topology(
+                statement,
+                self.topology,
+                self.placements,
+                source=source,
+                destination=destination,
+            )
+        return frozenset(logical.physical_links_used())
 
     def _real_statements(self, session) -> List[Statement]:
         """The session's statements minus the preprocessor's *generated*
@@ -739,7 +1052,8 @@ class MerlinCompiler:
         mid-apply and destroying the session.  The logical build is memoized
         in the session cache, so the apply phase pays nothing extra.
         """
-        source, destination = infer_endpoints(statement, self.topology)
+        active = self._active(session)
+        source, destination = infer_endpoints(statement, active)
         if source is None or destination is None:
             raise ProvisioningError(
                 f"statement {statement.identifier!r} requests a bandwidth "
@@ -747,7 +1061,8 @@ class MerlinCompiler:
                 "determined from its predicate or path expression"
             )
         logical = self._logical_for(
-            session.logical_cache, statement, source, destination
+            session.logical_cache, statement, source, destination,
+            topology=active,
         )
         if logical.num_edges() == 0:
             raise ProvisioningError(
@@ -846,7 +1161,7 @@ class MerlinCompiler:
             identifier=DEFAULT_STATEMENT_ID
         )
         session.endpoints[DEFAULT_STATEMENT_ID] = infer_endpoints(
-            catch_all, self.topology
+            catch_all, self._active(session)
         )
         session.generated_default = True
 
@@ -867,7 +1182,7 @@ class MerlinCompiler:
         if not needed:
             session.sink_trees = {}
         elif not session.sink_trees:
-            session.sink_trees = compute_sink_trees(self.topology)
+            session.sink_trees = compute_sink_trees(self._active(session))
 
     # -- shared helpers --------------------------------------------------------------
 
@@ -876,17 +1191,27 @@ class MerlinCompiler:
     # ever-new path expressions does not grow resident memory monotonically.
     _LOGICAL_CACHE_LIMIT = 1024
 
-    def _logical_for(self, cache, statement, source, destination):
+    def _logical_for(self, cache, statement, source, destination, topology=None):
+        # The cache key does not encode the topology: callers pass the
+        # session's active topology and the topology-delta path clears the
+        # session cache on every change, so entries never outlive the
+        # topology they were built on.
         key = (statement.path, source, destination)
         cached = cache.pop(key, None)
         if cached is None:
             fresh = True
+            build_on = topology if topology is not None else self.topology
             cached = build_logical_topology(
                 statement,
-                self.topology,
+                build_on,
                 self.placements,
                 source=source,
                 destination=destination,
+                # On a degraded topology, names of failed elements stay
+                # valid path-expression references (they match nothing).
+                known_locations=(
+                    None if build_on is self.topology else self.topology.locations()
+                ),
             )
         else:
             fresh = False
@@ -896,7 +1221,10 @@ class MerlinCompiler:
         return cached if fresh else cached.rebadged(statement.identifier)
 
     def _best_effort_assignment(
-        self, statement: Statement, logical: LogicalTopology
+        self,
+        statement: Statement,
+        logical: LogicalTopology,
+        topology: Optional[Topology] = None,
     ) -> Optional[PathAssignment]:
         found = logical.find_path()
         if found is None:
@@ -905,15 +1233,22 @@ class MerlinCompiler:
             statement_id=statement.identifier,
             path=tuple(found),
             function_placements=_best_effort_placements(
-                statement.path, found, self.placements, self.topology
+                statement.path,
+                found,
+                self.placements,
+                topology if topology is not None else self.topology,
             ),
             guaranteed_rate=None,
         )
 
-    def _link_capacities(self) -> Dict[Tuple[str, str], Bandwidth]:
+    def _link_capacities(
+        self, topology: Optional[Topology] = None
+    ) -> Dict[Tuple[str, str], Bandwidth]:
+        if topology is None:
+            topology = self.topology
         return {
             tuple(sorted((link.source, link.target))): link.capacity
-            for link in self.topology.links()
+            for link in topology.links()
         }
 
 

@@ -170,15 +170,29 @@ def build_logical_topology(
     placements: Mapping[str, Iterable[str]],
     source: Optional[str] = None,
     destination: Optional[str] = None,
+    known_locations: Optional[Iterable[str]] = None,
 ) -> LogicalTopology:
     """Build ``G_i`` for one statement.
 
     ``source`` and ``destination`` optionally pin the statement's endpoints;
     when omitted they are inferred from the statement's predicate by
     :func:`infer_endpoints` at the compiler level and passed in here.
+
+    ``known_locations`` extends the set of names accepted in the path
+    expression beyond ``topology``'s own locations.  It is used when
+    ``topology`` is a degraded (post-failure) view of a larger network: a
+    symbol naming a failed element stays a valid location reference — it
+    simply matches nothing during the product construction, so paths
+    through it disappear instead of the whole expression being rejected
+    as a placement error.
     """
     locations = topology.locations()
-    rewritten = substitute_functions(statement.path, placements, locations)
+    valid_names = (
+        locations
+        if known_locations is None
+        else frozenset(locations) | frozenset(known_locations)
+    )
+    rewritten = substitute_functions(statement.path, placements, valid_names)
     if source is not None and destination is not None:
         rewritten = _pin_endpoints(rewritten, source, destination)
     automaton = _compiled_automaton(rewritten)

@@ -1,0 +1,155 @@
+"""One options surface for every provisioning entry point.
+
+Historically :func:`~repro.core.provisioning.provision`,
+:class:`~repro.core.compiler.MerlinCompiler`, and
+:class:`~repro.incremental.engine.IncrementalProvisioner` each grew their
+own drifting keyword surface (``solver`` vs ``max_workers`` vs
+``max_solver_workers``, ...).  :class:`ProvisionOptions` consolidates them:
+one frozen dataclass carrying the solver backend, partitioning switches,
+process-pool size, footprint-slack policy (base value plus whether
+infeasible components may widen it), solver limits, and the warm-start
+policy.  All entry points accept ``options=ProvisionOptions(...)``; the old
+keywords keep working for one release through :func:`coalesce_options`,
+which folds them into an options value while emitting
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Optional
+
+#: Default footprint tightening for the partitioned provisioning paths: keep
+#: only logical edges on some source-to-sink path of at most (optimal hops +
+#: slack) physical-link traversals (see
+#: :func:`repro.core.logical.prune_to_cost_bound`).  Tightening is what
+#: stops unconstrained ``.*`` paths from gluing every statement into one MIP
+#: component.  The default of 2 admits, on top of the full equal-cost
+#: multipath diversity at optimal length, detours around one node (an
+#: alternate path that enters and leaves one extra location — e.g. the
+#: long side of the Figure 3 dumbbell), which is what the min-max
+#: objectives use to spread load; it still excludes far-away links (a
+#: fat-tree core detour for intra-rack traffic costs 4 extra hops).
+#: The bound is a genuine restriction: a workload whose min-max optimum
+#: (or feasibility) needs a longer detour would be mis-served — which is
+#: why the partitioned paths retry infeasible components with geometrically
+#: widened slack (2 -> 4 -> 8 -> None) when ``widen_slack`` is enabled,
+#: instead of reporting a tightening artifact as a hard infeasibility.
+DEFAULT_FOOTPRINT_SLACK: Optional[int] = 2
+
+#: The widening ladder's last finite rung: an infeasible component widens
+#: its members' slack geometrically (2 -> 4 -> 8) and past this value drops
+#: tightening entirely (slack ``None``), so the final retry solves the
+#: untightened reference model and a remaining infeasibility is genuine.
+MAX_WIDENED_SLACK: int = 8
+
+#: Sentinel distinguishing "caller did not pass this legacy keyword" from
+#: every meaningful value (``None`` is meaningful for ``footprint_slack``
+#: and ``solver``).
+_UNSET: Any = object()
+
+
+def widen_slack(slack: Optional[int]) -> Optional[int]:
+    """The next rung of the geometric slack-widening ladder.
+
+    ``None`` (untightened) is terminal — there is nothing wider.  Finite
+    slacks double (0 steps to 1 first) until they would exceed
+    :data:`MAX_WIDENED_SLACK`, at which point tightening is dropped.
+    """
+    if slack is None:
+        return None
+    wider = slack * 2 if slack > 0 else 1
+    return None if wider > MAX_WIDENED_SLACK else wider
+
+
+@dataclass(frozen=True)
+class ProvisionOptions:
+    """How guaranteed traffic is provisioned, independent of what is provisioned.
+
+    ``solver`` — an explicit LP/MIP backend instance, or ``None`` to let
+    :meth:`resolved_solver` pick one: a
+    :class:`~repro.lp.branch_and_bound.BranchAndBoundSolver` when
+    ``node_limit`` is set, a time-limited
+    :class:`~repro.lp.scipy_backend.ScipySolver` when only
+    ``time_limit_seconds`` is set, and the default backend otherwise.
+
+    ``partition`` / ``max_workers`` — whether the MIP is decomposed into
+    link-disjoint components, and the process-pool width used to solve
+    several dirty components concurrently (0/1 solves in-process).
+
+    ``footprint_slack`` / ``widen_slack`` — the base cost-bound tightening
+    applied to every statement's logical topology (``None`` disables
+    tightening) and whether components that come back infeasible under it
+    are retried with geometrically widened slack instead of failing.
+
+    ``warm_start`` — ``"auto"`` seeds incremental re-solves from projected
+    prior incumbents whenever the backend consumes starts; ``"off"``
+    disables seeding.
+
+    ``cache_limit`` — the incremental engine's component-solution LRU size.
+    """
+
+    solver: Optional[object] = None
+    partition: bool = True
+    max_workers: int = 0
+    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK
+    widen_slack: bool = True
+    time_limit_seconds: Optional[float] = None
+    node_limit: Optional[int] = None
+    warm_start: str = "auto"
+    cache_limit: int = 512
+
+    def __post_init__(self) -> None:
+        if self.warm_start not in ("auto", "off"):
+            raise ValueError(
+                f"warm_start must be 'auto' or 'off', got {self.warm_start!r}"
+            )
+
+    def resolved_solver(self) -> Optional[object]:
+        """The backend to hand to ``Model.solve`` (``None`` = default)."""
+        if self.solver is not None:
+            return self.solver
+        if self.node_limit is not None:
+            from ..lp.branch_and_bound import BranchAndBoundSolver
+
+            return BranchAndBoundSolver(
+                time_limit_seconds=self.time_limit_seconds,
+                max_nodes=self.node_limit,
+            )
+        if self.time_limit_seconds is not None:
+            from ..lp.scipy_backend import ScipySolver
+
+            return ScipySolver(time_limit_seconds=self.time_limit_seconds)
+        return None
+
+
+def coalesce_options(
+    options: Optional[ProvisionOptions],
+    *,
+    owner: str,
+    stacklevel: int = 3,
+    **legacy: Any,
+) -> ProvisionOptions:
+    """Fold deprecated per-call keywords into a :class:`ProvisionOptions`.
+
+    ``legacy`` maps option field names to values, with :data:`_UNSET`
+    marking keywords the caller did not pass.  Every keyword that *was*
+    passed emits a :class:`DeprecationWarning` naming ``owner`` and
+    overrides the corresponding ``options`` field (explicit legacy keywords
+    win, matching what the old signatures did).
+    """
+    resolved = options if options is not None else ProvisionOptions()
+    overrides = {
+        name: value for name, value in legacy.items() if value is not _UNSET
+    }
+    if overrides:
+        names = ", ".join(sorted(overrides))
+        warnings.warn(
+            f"passing {names} to {owner} is deprecated; "
+            "pass options=ProvisionOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        resolved = replace(resolved, **overrides)
+    return resolved

@@ -68,27 +68,15 @@ from .ast import Statement
 from .localization import LocalRates
 from .logical import SINK, SOURCE, LogicalEdge, LogicalTopology
 
+from .options import (  # noqa: F401  (re-exported for compatibility)
+    _UNSET,
+    DEFAULT_FOOTPRINT_SLACK,
+    ProvisionOptions,
+    coalesce_options,
+)
+
 #: Rates are expressed in Mbps inside the MIP to keep coefficients well-scaled.
 _MBPS = 1e6
-
-#: Default footprint tightening for the partitioned provisioning paths: keep
-#: only logical edges on some source-to-sink path of at most (optimal hops +
-#: slack) physical-link traversals (see
-#: :func:`repro.core.logical.prune_to_cost_bound`).  Tightening is what
-#: stops unconstrained ``.*`` paths from gluing every statement into one MIP
-#: component.  The default of 2 admits, on top of the full equal-cost
-#: multipath diversity at optimal length, detours around one node (an
-#: alternate path that enters and leaves one extra location — e.g. the
-#: long side of the Figure 3 dumbbell), which is what the min-max
-#: objectives use to spread load; it still excludes far-away links (a
-#: fat-tree core detour for intra-rack traffic costs 4 extra hops).
-#: The bound is a genuine restriction: a workload whose min-max optimum
-#: (or feasibility) needs a detour longer than it gets a worse max
-#: utilization (or an infeasibility report) than the untightened model
-#: would find — raise the slack or pass ``None`` to disable tightening
-#: for such networks (the monolithic ``partition=False`` path never
-#: tightens; it is the untightened reference).
-DEFAULT_FOOTPRINT_SLACK: Optional[int] = 2
 
 
 class PathSelectionHeuristic(enum.Enum):
@@ -126,6 +114,13 @@ class ProvisioningResult:
     partition_solutions: List["PartitionSolution"] = field(
         default_factory=list, repr=False
     )
+    #: (member ids, member slacks) combinations proven infeasible along the
+    #: slack-widening ladder; seeding an incremental engine with these (via
+    #: ``IncrementalProvisioner.prime``) lets its first resolve skip the
+    #: hopeless rungs instead of re-proving them.
+    infeasible_components: List[Tuple[Tuple[str, ...], Tuple[Optional[int], ...]]] = (
+        field(default_factory=list, repr=False)
+    )
 
 
 def provision(
@@ -135,10 +130,11 @@ def provision(
     topology: Topology,
     placements: Mapping[str, Iterable[str]],
     heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
-    solver=None,
-    partition: bool = True,
-    max_workers: int = 0,
-    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK,
+    options: Optional[ProvisionOptions] = None,
+    solver=_UNSET,
+    partition=_UNSET,
+    max_workers=_UNSET,
+    footprint_slack=_UNSET,
 ) -> ProvisioningResult:
     """Select paths and reserve bandwidth for the guaranteed statements.
 
@@ -148,14 +144,29 @@ def provision(
     (for example, when the requested guarantees exceed every allowed path's
     capacity).
 
-    With ``partition=True`` (the default) the MIP is decomposed into
-    link-disjoint components solved independently (``max_workers`` > 1
-    solves them in a process pool), after each statement's logical topology
-    is tightened to its cost-bounded subgraph (``footprint_slack`` extra
-    physical hops over the statement's optimum; ``None`` disables
-    tightening).  ``partition=False`` keeps the single monolithic,
-    untightened model.
+    Solver and decomposition behaviour is configured through ``options``
+    (a :class:`~repro.core.options.ProvisionOptions`); the individual
+    ``solver`` / ``partition`` / ``max_workers`` / ``footprint_slack``
+    keywords are deprecated aliases for the matching option fields.
+
+    With partitioning enabled (the default) the MIP is decomposed into
+    link-disjoint components solved independently (``options.max_workers``
+    > 1 solves them in a process pool), after each statement's logical
+    topology is tightened to its cost-bounded subgraph
+    (``options.footprint_slack`` extra physical hops over the statement's
+    optimum; ``None`` disables tightening); components infeasible under
+    tightening retry with geometrically widened slack when
+    ``options.widen_slack`` is set.  ``partition=False`` keeps the single
+    monolithic, untightened model.
     """
+    options = coalesce_options(
+        options,
+        owner="provision()",
+        solver=solver,
+        partition=partition,
+        max_workers=max_workers,
+        footprint_slack=footprint_slack,
+    )
     if not statements:
         return ProvisioningResult(
             paths={},
@@ -167,7 +178,7 @@ def provision(
             num_variables=0,
             num_constraints=0,
         )
-    if partition:
+    if options.partition:
         # Imported lazily: repro.incremental builds on this module.
         from ..incremental.solve import provision_partitioned
 
@@ -178,11 +189,10 @@ def provision(
             topology,
             placements,
             heuristic=heuristic,
-            solver=solver,
-            max_workers=max_workers,
-            footprint_slack=footprint_slack,
+            options=options,
         )
 
+    solver = options.resolved_solver()
     construction_start = time.perf_counter()
     built = build_provisioning_model(
         statements, logical_topologies, rates, topology, heuristic=heuristic

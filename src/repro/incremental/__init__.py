@@ -24,7 +24,13 @@ Layout:
   for :meth:`MerlinCompiler.recompile` and the negotiator hierarchy.
 """
 
-from .delta import DeltaStatement, PolicyDelta, RateUpdate, policy_delta
+from .delta import (
+    DeltaStatement,
+    PolicyDelta,
+    RateUpdate,
+    TopologyDelta,
+    policy_delta,
+)
 from .engine import EngineCheckpoint, IncrementalProvisioner
 from .partition import (
     LinkKey,
@@ -34,17 +40,21 @@ from .partition import (
     tighten_logical_topologies,
 )
 from .solve import (
+    INFEASIBLE_COMPONENT,
     PartitionSolution,
+    WideningOutcome,
     build_partition_model,
     merge_partition_solutions,
     project_warm_start,
     provision_partitioned,
+    solve_components_with_widening,
 )
 
 __all__ = [
     "DeltaStatement",
     "PolicyDelta",
     "RateUpdate",
+    "TopologyDelta",
     "policy_delta",
     "EngineCheckpoint",
     "IncrementalProvisioner",
@@ -53,9 +63,12 @@ __all__ = [
     "PartitionSpec",
     "UnionFind",
     "partition_statements",
+    "INFEASIBLE_COMPONENT",
     "PartitionSolution",
+    "WideningOutcome",
     "build_partition_model",
     "merge_partition_solutions",
     "project_warm_start",
     "provision_partitioned",
+    "solve_components_with_widening",
 ]

@@ -63,6 +63,63 @@ class PolicyDelta:
         )
 
 
+@dataclass(frozen=True)
+class TopologyDelta:
+    """A set of topology changes applied atomically by ``recompile``.
+
+    Link keys are undirected (u, v) name pairs and are normalized to sorted
+    order on construction.  Failures and recoveries are *absolute* edits to
+    the session's failed-element sets: failing an already-failed element or
+    recovering a healthy one is a validation error, so replaying a stream
+    of deltas is unambiguous.  Applied by
+    :meth:`MerlinCompiler.recompile` / :meth:`Session.apply`, which derive
+    the new active topology, rebuild only the product graphs whose pristine
+    footprint touches the changed elements, and re-solve only the MIP
+    components those statements belong to.
+    """
+
+    fail_links: Tuple[Tuple[str, str], ...] = ()
+    recover_links: Tuple[Tuple[str, str], ...] = ()
+    fail_nodes: Tuple[str, ...] = ()
+    recover_nodes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "fail_links",
+            tuple(tuple(sorted(link)) for link in self.fail_links),
+        )
+        object.__setattr__(
+            self,
+            "recover_links",
+            tuple(tuple(sorted(link)) for link in self.recover_links),
+        )
+        object.__setattr__(self, "fail_nodes", tuple(self.fail_nodes))
+        object.__setattr__(self, "recover_nodes", tuple(self.recover_nodes))
+
+    def is_empty(self) -> bool:
+        return not (
+            self.fail_links
+            or self.recover_links
+            or self.fail_nodes
+            or self.recover_nodes
+        )
+
+    def num_changes(self) -> int:
+        return (
+            len(self.fail_links)
+            + len(self.recover_links)
+            + len(self.fail_nodes)
+            + len(self.recover_nodes)
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"TopologyDelta(-L{len(self.fail_links)} +L{len(self.recover_links)} "
+            f"-N{len(self.fail_nodes)} +N{len(self.recover_nodes)})"
+        )
+
+
 def same_rate(left: Optional[Bandwidth], right: Optional[Bandwidth]) -> bool:
     """Value equality over optional bandwidths (``None`` only equals ``None``).
 

@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.ast import Statement
 from ..core.localization import LocalRates
@@ -66,6 +66,7 @@ from ..core.logical import (
     infer_endpoints,
     prune_to_cost_bound,
 )
+from ..core.options import _UNSET, ProvisionOptions, coalesce_options
 from ..core.provisioning import (
     DEFAULT_FOOTPRINT_SLACK,
     PathSelectionHeuristic,
@@ -78,18 +79,19 @@ from ..topology.graph import Topology
 from ..units import Bandwidth
 from .partition import PartitionSpec, partition_statements
 from .solve import (
+    INFEASIBLE_COMPONENT,
+    ComponentKey,
     PartitionSolution,
-    build_partition_model,
-    extract_partition_solution,
     merge_partition_solutions,
-    project_warm_start,
-    solver_consumes_warm_starts,
-    solve_partition_models,
+    record_widening_statistics,
+    solve_components_with_widening,
     topology_capacities_mbps,
 )
 
-#: A partition's cache key: heuristic plus each member's (id, revision).
-Signature = Tuple[str, Tuple[Tuple[str, int], ...]]
+#: A partition's cache key: heuristic, each member's (id, revision), and
+#: each member's footprint slack (the same members at a different widening
+#: level are a different model).
+Signature = Tuple[str, Tuple[Tuple[str, int], ...], Tuple[Optional[int], ...]]
 
 
 @dataclass(frozen=True)
@@ -106,12 +108,14 @@ class EngineCheckpoint:
 
     statements: Dict[str, Statement]
     logical: Dict[str, LogicalTopology]
+    logical_full: Dict[str, LogicalTopology]
     rates: Dict[str, LocalRates]
     footprints: Dict[str, frozenset]
     revisions: Dict[str, int]
     next_revision: int
-    cache: Dict[Signature, PartitionSolution]
+    cache: Dict[Signature, object]
     last_values: Dict[str, float]
+    topology: Topology
 
 
 class IncrementalProvisioner:
@@ -131,24 +135,38 @@ class IncrementalProvisioner:
         topology: Topology,
         placements: Optional[Mapping[str, Iterable[str]]] = None,
         heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
-        solver=None,
-        max_workers: int = 0,
-        cache_limit: int = 512,
-        footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK,
+        options: Optional[ProvisionOptions] = None,
+        solver=_UNSET,
+        max_workers=_UNSET,
+        cache_limit=_UNSET,
+        footprint_slack=_UNSET,
     ) -> None:
+        options = coalesce_options(
+            options,
+            owner="IncrementalProvisioner()",
+            solver=solver,
+            max_workers=max_workers,
+            cache_limit=cache_limit,
+            footprint_slack=footprint_slack,
+        )
         self.topology = topology
         self.placements = dict(placements or {})
         self.heuristic = heuristic
-        self.solver = solver
-        self.max_workers = max_workers
-        self.footprint_slack = footprint_slack
-        self._cache_limit = cache_limit
+        self.options = options
+        self.solver = options.resolved_solver()
+        self.max_workers = options.max_workers
+        self.footprint_slack = options.footprint_slack
+        self._cache_limit = options.cache_limit
 
         self._capacity_mbps = topology_capacities_mbps(topology)
         self._statements: Dict[str, Statement] = {}
         #: Tightened (cost-bounded) logical topologies — what partitioning,
         #: the component models, and the lazy live model are all built from.
         self._logical: Dict[str, LogicalTopology] = {}
+        #: The *untightened* product graphs, kept alongside: slack widening
+        #: re-tightens from these at wider bounds, and incumbent pruning on
+        #: removal must cover the widest variable range ever emitted.
+        self._logical_full: Dict[str, LogicalTopology] = {}
         self._rates: Dict[str, LocalRates] = {}
         # Per-statement link footprint, computed once at add time: logical
         # topologies are immutable, and re-walking every statement's edges
@@ -158,7 +176,7 @@ class IncrementalProvisioner:
         self._revisions: Dict[str, int] = {}
         self._next_revision = 1
 
-        self._cache: Dict[Signature, PartitionSolution] = {}
+        self._cache: Dict[Signature, object] = {}
         self._last_values: Dict[str, float] = {}
 
         # --- the lazily-materialized live model --------------------------------
@@ -202,12 +220,14 @@ class IncrementalProvisioner:
         return EngineCheckpoint(
             statements=dict(self._statements),
             logical=dict(self._logical),
+            logical_full=dict(self._logical_full),
             rates=dict(self._rates),
             footprints=dict(self._footprints),
             revisions=dict(self._revisions),
             next_revision=self._next_revision,
             cache=dict(self._cache),
             last_values=dict(self._last_values),
+            topology=self.topology,
         )
 
     def restore(self, saved: EngineCheckpoint) -> None:
@@ -215,12 +235,15 @@ class IncrementalProvisioner:
         transaction; committing is simply discarding the checkpoint)."""
         self._statements = dict(saved.statements)
         self._logical = dict(saved.logical)
+        self._logical_full = dict(saved.logical_full)
         self._rates = dict(saved.rates)
         self._footprints = dict(saved.footprints)
         self._revisions = dict(saved.revisions)
         self._next_revision = saved.next_revision
         self._cache = dict(saved.cache)
         self._last_values = dict(saved.last_values)
+        if saved.topology is not self.topology:
+            self.set_topology(saved.topology)
         # Drop the memoized live model: rollback rewinds the revision
         # counter, so a post-rollback delta re-issues revision numbers and
         # a model materialized *inside* the failed transaction could
@@ -275,11 +298,13 @@ class IncrementalProvisioner:
                 f"statement {identifier!r} has no feasible path satisfying "
                 "its path expression"
             )
+        full = logical
         if self.footprint_slack is not None:
             logical = prune_to_cost_bound(logical, self.footprint_slack)
 
         self._statements[identifier] = statement
         self._logical[identifier] = logical
+        self._logical_full[identifier] = full
         self._footprints[identifier] = frozenset(logical.physical_links_used())
         self._rates[identifier] = LocalRates(
             identifier=identifier, guarantee=guarantee, cap=cap
@@ -290,21 +315,69 @@ class IncrementalProvisioner:
         """Forget a statement (bookkeeping only — no rows to splice out)."""
         if identifier not in self._statements:
             raise ProvisioningError(f"unknown statement {identifier!r}")
-        # Drop the statement's incumbent values: a later re-add under the
-        # same identifier reuses variable names, and a projection built from
-        # a different logical topology must not masquerade as a warm start
-        # (it also keeps the incumbent map from growing without bound).
-        # Variable names are deterministic — x__{id}__{edge index}, the
-        # format splice_statement_rows emits; its docstring cross-references
-        # this dependency — so the pruning costs O(statement edges), not a
-        # pass over the whole model.
-        for index in range(self._logical[identifier].num_edges()):
-            self._last_values.pop(f"x__{identifier}__{index}", None)
+        self._prune_incumbents(identifier)
         del self._statements[identifier]
         del self._logical[identifier]
+        del self._logical_full[identifier]
         del self._footprints[identifier]
         del self._rates[identifier]
         del self._revisions[identifier]
+
+    def _prune_incumbents(self, identifier: str) -> None:
+        """Drop a statement's incumbent values (on removal or reshaping).
+
+        A later re-add under the same identifier reuses variable names, and
+        a projection built from a different logical topology must not
+        masquerade as a warm start (pruning also keeps the incumbent map
+        from growing without bound).  Variable names are deterministic —
+        x__{id}__{edge index}, the format splice_statement_rows emits; its
+        docstring cross-references this dependency — so the pruning costs
+        O(statement edges), not a pass over the whole model.  The range is
+        the *untightened* edge count: widened component models emit
+        variables beyond the base-tightened range.
+        """
+        for index in range(self._logical_full[identifier].num_edges()):
+            self._last_values.pop(f"x__{identifier}__{index}", None)
+
+    def replace_logical(self, identifier: str, logical: LogicalTopology) -> None:
+        """Swap a statement's (untightened) product graph for a new one.
+
+        The compiler's topology-delta path calls this for every statement
+        whose product graph changed on the new active topology: the
+        tightened view and link footprint are recomputed, the statement's
+        revision is bumped (invalidating cached component solutions that
+        could route over vanished links), and stale incumbents over the old
+        edge indexing are pruned.
+        """
+        if identifier not in self._statements:
+            raise ProvisioningError(f"unknown statement {identifier!r}")
+        if logical.num_edges() == 0:
+            raise ProvisioningError(
+                f"statement {identifier!r} has no feasible path satisfying "
+                "its path expression"
+            )
+        self._prune_incumbents(identifier)
+        self._logical_full[identifier] = logical
+        tightened = (
+            logical
+            if self.footprint_slack is None
+            else prune_to_cost_bound(logical, self.footprint_slack)
+        )
+        self._logical[identifier] = tightened
+        self._footprints[identifier] = frozenset(tightened.physical_links_used())
+        self._revisions[identifier] = self._bump_revision()
+
+    def set_topology(self, topology: Topology) -> None:
+        """Point the engine at a new (e.g. degraded) physical topology.
+
+        Only the capacity map and the memoized live model depend on it
+        directly; per-statement logical topologies must be re-supplied by
+        the caller via :meth:`replace_logical` where they changed.
+        """
+        self.topology = topology
+        self._capacity_mbps = topology_capacities_mbps(topology)
+        self._live = None
+        self._live_signature = None
 
     def update_rates(
         self,
@@ -338,31 +411,55 @@ class IncrementalProvisioner:
 
     # -- solving -------------------------------------------------------------------
 
-    def _signature(self, spec: PartitionSpec) -> Signature:
+    def _signature_for(
+        self,
+        statement_ids: Tuple[str, ...],
+        member_slacks: Tuple[Optional[int], ...],
+    ) -> Signature:
         return (
             self.heuristic.value,
-            tuple((sid, self._revisions[sid]) for sid in spec.statement_ids),
+            tuple((sid, self._revisions[sid]) for sid in statement_ids),
+            member_slacks,
         )
 
-    def prime(self, solutions: Iterable[PartitionSolution]) -> int:
+    def _signature(self, spec: PartitionSpec) -> Signature:
+        base = self.footprint_slack
+        return self._signature_for(
+            spec.statement_ids, tuple(base for _ in spec.statement_ids)
+        )
+
+    def prime(
+        self,
+        solutions: Iterable[PartitionSolution],
+        infeasible: Iterable[ComponentKey] = (),
+    ) -> int:
         """Seed the component cache from a previous full provisioning run.
 
-        Solutions are matched to the current components by statement-id set;
-        the number of adopted solutions is returned.  This lets a compiler
-        hand its ``ProvisioningResult.partition_solutions`` to a fresh
-        engine so the first delta only re-solves what it touched.
+        Every solution whose members all exist in the session is adopted
+        under its own (members, slacks) identity — including components the
+        full compile solved at a *widened* slack level, which do not match
+        the base-slack partitioning but are exactly what ``resolve``'s
+        widening ladder will ask for.  ``infeasible`` seeds the
+        :data:`~repro.incremental.solve.INFEASIBLE_COMPONENT` markers the
+        full compile discovered on its way up the ladder, so the first
+        resolve skips those rungs instead of re-proving them.  Returns the
+        number of adopted solutions.
         """
-        by_members = {
-            frozenset(solution.spec.statement_ids): solution
-            for solution in solutions
-        }
         adopted = 0
-        for spec in self._current_partitions():
-            solution = by_members.get(frozenset(spec.statement_ids))
-            if solution is not None:
-                self._cache[self._signature(spec)] = solution
-                self._last_values.update(solution.values_by_name)
-                adopted += 1
+        for solution in solutions:
+            ids = solution.spec.statement_ids
+            if any(sid not in self._revisions for sid in ids):
+                continue
+            slacks = solution.member_slacks or tuple(
+                self.footprint_slack for _ in ids
+            )
+            self._cache[self._signature_for(ids, slacks)] = solution
+            self._last_values.update(solution.values_by_name)
+            adopted += 1
+        for ids, slacks in infeasible:
+            if any(sid not in self._revisions for sid in ids):
+                continue
+            self._cache[self._signature_for(ids, slacks)] = INFEASIBLE_COMPONENT
         return adopted
 
     def _current_partitions(self) -> List[PartitionSpec]:
@@ -387,98 +484,70 @@ class IncrementalProvisioner:
                 num_variables=0,
                 num_constraints=0,
             )
-        specs = self._current_partitions()
-        reused: Dict[PartitionSpec, PartitionSolution] = {}
-        dirty: List[PartitionSpec] = []
-        for spec in specs:
-            cached = self._cache.get(self._signature(spec))
-            if cached is not None:
-                reused[spec] = cached
-            else:
-                dirty.append(spec)
+        def lookup(spec: PartitionSpec, slacks: Tuple[Optional[int], ...]):
+            return self._cache.get(self._signature_for(spec.statement_ids, slacks))
 
-        construction_start = time.perf_counter()
-        built_models = []
-        build_seconds = []
-        for spec in dirty:
-            build_start = time.perf_counter()
-            built_models.append(
-                build_partition_model(
-                    spec,
-                    self._statements,
-                    self._logical,
-                    self._rates,
-                    self._capacity_mbps,
-                    self.heuristic,
-                )
-            )
-            build_seconds.append(time.perf_counter() - build_start)
-        lp_construction_seconds = time.perf_counter() - construction_start
-
-        seed_starts = bool(self._last_values) and solver_consumes_warm_starts(
-            self.solver
+        warm_values = (
+            self._last_values if self.options.warm_start != "off" else None
         )
-        warm_starts = [
-            project_warm_start(built, self._last_values) if seed_starts else None
-            for built in built_models
-        ]
-        solve_start = time.perf_counter()
-        outcomes = solve_partition_models(
-            built_models,
+        outcome = solve_components_with_widening(
+            self._statements,
+            self._logical_full,
+            self._rates,
+            self._capacity_mbps,
+            self.heuristic,
             solver=self.solver,
-            warm_starts=warm_starts,
             max_workers=self.max_workers,
+            footprint_slack=self.footprint_slack,
+            widen=self.options.widen_slack,
+            base_tightened=self._logical,
+            warm_values=warm_values,
+            lookup=lookup,
         )
-        lp_solve_seconds = time.perf_counter() - solve_start
-
-        solved = {
-            spec: extract_partition_solution(spec, built, outcome, seconds)
-            for spec, built, outcome, seconds in zip(
-                dirty, built_models, outcomes, build_seconds
-            )
-        }
-        solutions = [
-            reused[spec] if spec in reused else solved[spec] for spec in specs
-        ]
 
         result = merge_partition_solutions(
-            solutions,
+            outcome.solutions,
             self._statements,
             self._rates,
             self.topology,
             self.placements,
-            lp_construction_seconds,
-            lp_solve_seconds,
+            outcome.construction_seconds,
+            outcome.solve_seconds,
             heuristic=self.heuristic,
         )
-        result.solve_statistics["partitions_dirty"] = float(len(dirty))
-        result.solve_statistics["partitions_reused"] = float(len(reused))
+        result.solve_statistics["partitions_dirty"] = float(outcome.solver_calls)
+        result.solve_statistics["partitions_reused"] = float(
+            len(outcome.specs) - len(outcome.fresh)
+        )
         # The merge sums work diagnostics over every component it was
         # handed, cached ones included; report only the work THIS resolve
         # performed (reused components were solved by an earlier call).
         result.solve_statistics["solve_cpu_seconds"] = float(
-            sum(solution.solve_seconds for solution in solved.values())
+            outcome.solve_cpu_seconds
         )
-        dirty_nodes = [
-            solution.statistics.get("nodes") for solution in solved.values()
-        ]
-        if any(value is not None for value in dirty_nodes):
-            result.solve_statistics["nodes"] = float(
-                sum(value or 0.0 for value in dirty_nodes)
-            )
+        if outcome.nodes is not None:
+            result.solve_statistics["nodes"] = float(outcome.nodes)
         else:
             result.solve_statistics.pop("nodes", None)
+        record_widening_statistics(result, outcome, self.footprint_slack)
 
         # Retain previous entries (bounded, LRU): oscillating deltas — add
         # then revert, AIMD up/down — bring back signatures solved a resolve
-        # or two ago, and those must be cache hits, not re-solves.
-        for spec, solution in zip(specs, solutions):
-            signature = self._signature(spec)
+        # or two ago, and those must be cache hits, not re-solves.  Markers
+        # for rungs proven infeasible on the way up the ladder are cached
+        # too, so the next resolve of the same population skips them.
+        for spec, solution in zip(outcome.specs, outcome.solutions):
+            slacks = solution.member_slacks or tuple(
+                self.footprint_slack for _ in spec.statement_ids
+            )
+            signature = self._signature_for(spec.statement_ids, slacks)
             self._cache.pop(signature, None)
             self._cache[signature] = solution
+        for key in outcome.infeasible_keys:
+            self._cache[self._signature_for(*key)] = INFEASIBLE_COMPONENT
         while len(self._cache) > self._cache_limit:
             self._cache.pop(next(iter(self._cache)))
-        for solution in solved.values():
+        for solution in outcome.fresh:
             self._last_values.update(solution.values_by_name)
         return result
 

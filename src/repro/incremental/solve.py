@@ -31,10 +31,11 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.localization import LocalRates
-from ..core.logical import LogicalTopology
+from ..core.logical import LogicalTopology, prune_to_cost_bound
+from ..core.options import _UNSET, ProvisionOptions, coalesce_options, widen_slack
 from ..core.provisioning import (
     _MBPS,
     DEFAULT_FOOTPRINT_SLACK,
@@ -58,6 +59,25 @@ from .partition import (
     tighten_logical_topologies,
 )
 
+#: A component's identity at one widening level: the member statement ids
+#: (sorted, as in :class:`PartitionSpec`) plus each member's slack.
+ComponentKey = Tuple[Tuple[str, ...], Tuple[Optional[int], ...]]
+
+
+class _InfeasibleComponent:
+    """Cache marker: a (members, slacks) component proven to have no solution."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<infeasible-component>"
+
+
+#: Singleton marker cached (by the incremental engine) for component keys
+#: whose model came back infeasible, so a later resolve walking the same
+#: widening ladder skips straight past the levels already proven hopeless.
+INFEASIBLE_COMPONENT = _InfeasibleComponent()
+
 
 @dataclass
 class PartitionSolution:
@@ -80,6 +100,12 @@ class PartitionSolution:
     num_constraints: int = 0
     construction_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: The footprint slack each member was tightened with when this
+    #: component was solved, aligned with ``spec.statement_ids`` (``None``
+    #: = untightened; empty for solutions predating slack widening).  Part
+    #: of the component's cache identity: the same members at a different
+    #: widening level are a different model.
+    member_slacks: Tuple[Optional[int], ...] = ()
 
 
 def link_footprints(
@@ -222,22 +248,27 @@ def solve_partition_models(
     return [_solve_model_payload(payload) for payload in payloads]
 
 
+def _raise_component_infeasible(spec: PartitionSpec, status_value: str) -> None:
+    members = ", ".join(spec.statement_ids)
+    raise ProvisioningError(
+        "bandwidth provisioning is infeasible for the statement group "
+        f"[{members}]: the requested guarantees cannot be satisfied "
+        f"(solver status: {status_value})"
+    )
+
+
 def extract_partition_solution(
     spec: PartitionSpec,
     built: ProvisioningModel,
     outcome: Tuple[str, Dict[str, float], Optional[float], Dict[str, float]],
     construction_seconds: float = 0.0,
+    member_slacks: Tuple[Optional[int], ...] = (),
 ) -> PartitionSolution:
     """Read a component's solve outcome into a :class:`PartitionSolution`."""
     status_value, values_by_name, objective, statistics = outcome
     status = SolveStatus(status_value)
     if not status.has_solution:
-        members = ", ".join(spec.statement_ids)
-        raise ProvisioningError(
-            "bandwidth provisioning is infeasible for the statement group "
-            f"[{members}]: the requested guarantees cannot be satisfied "
-            f"(solver status: {status_value})"
-        )
+        _raise_component_infeasible(spec, status_value)
     location_paths: Dict[str, Tuple[str, ...]] = {}
     for identifier in spec.statement_ids:
         logical = built.logical_topologies[identifier]
@@ -263,7 +294,274 @@ def extract_partition_solution(
         num_constraints=built.model.num_constraints(),
         construction_seconds=construction_seconds,
         solve_seconds=statistics.get("solve_seconds", 0.0),
+        member_slacks=member_slacks,
     )
+
+
+@dataclass
+class WideningOutcome:
+    """What :func:`solve_components_with_widening` hands back to its caller.
+
+    ``specs`` / ``solutions`` are the *final* partition (after any widening
+    merged components) and its solutions, aligned.  ``fresh`` is the subset
+    of final solutions actually solved by this call (the rest came from the
+    caller's ``lookup``) — the incremental engine updates its incumbent
+    values from exactly these.  ``infeasible_keys`` lists every
+    (members, slacks) combination proven infeasible along the ladder, so
+    callers can cache the markers and skip those rungs next time.
+    """
+
+    specs: List[PartitionSpec]
+    solutions: List[PartitionSolution]
+    fresh: List[PartitionSolution]
+    infeasible_keys: List[ComponentKey]
+    slack_retries: int = 0
+    solver_calls: int = 0
+    construction_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    solve_cpu_seconds: float = 0.0
+    nodes: Optional[float] = None
+
+    def slack_used(
+        self, base_slack: Optional[int]
+    ) -> Optional[float]:
+        """The widest slack any final component was solved with.
+
+        ``None``-slack (untightened) components dominate every finite one
+        and are reported as ``inf``; with no widening information recorded
+        the base slack is reported unchanged.
+        """
+        widest: Optional[float] = (
+            float("inf") if base_slack is None else float(base_slack)
+        )
+        for solution in self.solutions:
+            for slack in solution.member_slacks:
+                value = float("inf") if slack is None else float(slack)
+                if widest is None or value > widest:
+                    widest = value
+        return widest
+
+
+def solve_components_with_widening(
+    statements_by_id: Mapping[str, Statement],
+    logical_topologies: Mapping[str, LogicalTopology],
+    rates: Mapping[str, LocalRates],
+    capacity_mbps: Mapping[LinkKey, float],
+    heuristic: PathSelectionHeuristic,
+    solver=None,
+    max_workers: int = 0,
+    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK,
+    widen: bool = True,
+    base_tightened: Optional[Mapping[str, LogicalTopology]] = None,
+    warm_values: Optional[Mapping[str, float]] = None,
+    lookup: Optional[
+        Callable[[PartitionSpec, Tuple[Optional[int], ...]], object]
+    ] = None,
+) -> WideningOutcome:
+    """Partition, solve, and self-heal cost-bound infeasibilities.
+
+    This is the one shared solving loop of both provisioning paths — the
+    full compile (:func:`provision_partitioned`) and the incremental
+    engine's ``resolve()`` — which is what makes slack widening
+    transactional-equivalence-safe: both paths walk the identical,
+    deterministic ladder from the same inputs, so a session that widened
+    its way through a failure ends at exactly the allocations a
+    from-scratch compile of the same statements would produce.
+
+    The fixpoint loop per round:
+
+    1. tighten every statement's *untightened* logical topology at its
+       current slack level (all statements start at ``footprint_slack``;
+       levels are per-resolve transient, never sticky across calls),
+    2. re-partition the entire population — widened footprints can merge
+       previously link-disjoint components, and the exactness of the
+       decomposition (no link is shared across components) must be
+       re-established every round,
+    3. solve the components not already known (from ``lookup``, or solved
+       earlier in this call), warm-started from ``warm_values`` when the
+       backend consumes starts,
+    4. for every component that came back infeasible, widen **all** its
+       members one rung (2 -> 4 -> 8 -> ``None``) and repeat; a component
+       infeasible with every member untightened is genuinely infeasible
+       and raises :class:`ProvisioningError`.
+
+    ``lookup`` may return a cached :class:`PartitionSolution`, the
+    :data:`INFEASIBLE_COMPONENT` marker (skip the rung without re-solving),
+    or ``None``.  With ``widen=False`` the first infeasible component
+    raises immediately (the pre-widening behaviour).
+    """
+    slack_by_id: Dict[str, Optional[int]] = {
+        sid: footprint_slack for sid in statements_by_id
+    }
+    tight_cache: Dict[Tuple[str, Optional[int]], LogicalTopology] = {}
+    footprint_cache: Dict[Tuple[str, Optional[int]], frozenset] = {}
+    if base_tightened:
+        for sid, logical in base_tightened.items():
+            tight_cache[(sid, footprint_slack)] = logical
+    local: Dict[ComponentKey, PartitionSolution] = {}
+    infeasible_local: Dict[ComponentKey, str] = {}
+    solved_keys: set = set()
+    fresh_by_key: Dict[ComponentKey, PartitionSolution] = {}
+    discovered_infeasible: List[ComponentKey] = []
+    slack_retries = 0
+    solver_calls = 0
+    construction_total = 0.0
+    solve_total = 0.0
+    cpu_total = 0.0
+    nodes_total = 0.0
+    nodes_seen = False
+    seed_starts = bool(warm_values) and solver_consumes_warm_starts(solver)
+
+    # The ladder has at most 6 rungs per statement (0 -> 1 -> 2 -> 4 -> 8 ->
+    # None); every round either terminates or widens some member, so the
+    # loop is finite.  The guard is belt-and-braces.
+    for _round in range(32):
+        round_start = time.perf_counter()
+        tightened: Dict[str, LogicalTopology] = {}
+        footprints: Dict[str, frozenset] = {}
+        for sid in statements_by_id:
+            slack = slack_by_id[sid]
+            cache_key = (sid, slack)
+            logical = tight_cache.get(cache_key)
+            if logical is None:
+                base = logical_topologies[sid]
+                logical = base if slack is None else prune_to_cost_bound(base, slack)
+                tight_cache[cache_key] = logical
+            footprint = footprint_cache.get(cache_key)
+            if footprint is None:
+                footprint = frozenset(logical.physical_links_used())
+                footprint_cache[cache_key] = footprint
+            tightened[sid] = logical
+            footprints[sid] = footprint
+        specs = partition_statements(footprints)
+
+        resolved: Dict[PartitionSpec, PartitionSolution] = {}
+        to_solve: List[Tuple[PartitionSpec, ComponentKey]] = []
+        widen_specs: List[PartitionSpec] = []
+        for spec in specs:
+            slacks = tuple(slack_by_id[sid] for sid in spec.statement_ids)
+            key = (spec.statement_ids, slacks)
+            if key in infeasible_local:
+                widen_specs.append(spec)
+                continue
+            solution = local.get(key)
+            if solution is None and lookup is not None:
+                found = lookup(spec, slacks)
+                if found is INFEASIBLE_COMPONENT:
+                    infeasible_local[key] = "infeasible"
+                    widen_specs.append(spec)
+                    continue
+                if found is not None:
+                    solution = found
+                    local[key] = solution
+            if solution is not None:
+                resolved[spec] = solution
+            else:
+                to_solve.append((spec, key))
+
+        if to_solve:
+            built_models: List[ProvisioningModel] = []
+            build_seconds: List[float] = []
+            for spec, _key in to_solve:
+                build_start = time.perf_counter()
+                built_models.append(
+                    build_partition_model(
+                        spec,
+                        statements_by_id,
+                        tightened,
+                        rates,
+                        capacity_mbps,
+                        heuristic,
+                    )
+                )
+                build_seconds.append(time.perf_counter() - build_start)
+            warm_starts = [
+                project_warm_start(built, warm_values) if seed_starts else None
+                for built in built_models
+            ]
+            construction_total += time.perf_counter() - round_start
+            solve_start = time.perf_counter()
+            outcomes = solve_partition_models(
+                built_models,
+                solver=solver,
+                warm_starts=warm_starts,
+                max_workers=max_workers,
+            )
+            solve_total += time.perf_counter() - solve_start
+            for (spec, key), built, outcome, seconds in zip(
+                to_solve, built_models, outcomes, build_seconds
+            ):
+                solver_calls += 1
+                status_value, _values, _objective, statistics = outcome
+                cpu_total += statistics.get("solve_seconds", 0.0)
+                if statistics.get("nodes") is not None:
+                    nodes_seen = True
+                    nodes_total += statistics.get("nodes") or 0.0
+                if SolveStatus(status_value).has_solution:
+                    solution = extract_partition_solution(
+                        spec, built, outcome, seconds, member_slacks=key[1]
+                    )
+                    local[key] = solution
+                    solved_keys.add(key)
+                    fresh_by_key[key] = solution
+                    resolved[spec] = solution
+                else:
+                    if not widen:
+                        _raise_component_infeasible(spec, status_value)
+                    infeasible_local[key] = status_value
+                    discovered_infeasible.append(key)
+                    widen_specs.append(spec)
+        else:
+            construction_total += time.perf_counter() - round_start
+
+        if not widen_specs:
+            solutions = [resolved[spec] for spec in specs]
+            fresh = [
+                resolved[spec]
+                for spec in specs
+                if (
+                    spec.statement_ids,
+                    tuple(slack_by_id[sid] for sid in spec.statement_ids),
+                )
+                in solved_keys
+            ]
+            return WideningOutcome(
+                specs=specs,
+                solutions=solutions,
+                fresh=fresh,
+                infeasible_keys=discovered_infeasible,
+                slack_retries=slack_retries,
+                solver_calls=solver_calls,
+                construction_seconds=construction_total,
+                solve_seconds=solve_total,
+                solve_cpu_seconds=cpu_total,
+                nodes=nodes_total if nodes_seen else None,
+            )
+
+        for spec in widen_specs:
+            slacks = tuple(slack_by_id[sid] for sid in spec.statement_ids)
+            if all(slack is None for slack in slacks):
+                # Every member already solves the untightened reference
+                # model: the infeasibility is genuine, not a tightening
+                # artifact.
+                status_value = infeasible_local.get(
+                    (spec.statement_ids, slacks), "infeasible"
+                )
+                _raise_component_infeasible(spec, status_value)
+            if not widen:
+                _raise_component_infeasible(
+                    spec,
+                    infeasible_local.get(
+                        (spec.statement_ids, slacks), "infeasible"
+                    ),
+                )
+            slack_retries += 1
+            for sid in spec.statement_ids:
+                slack_by_id[sid] = widen_slack(slack_by_id[sid])
+
+    raise ProvisioningError(
+        "slack widening failed to converge (internal error)"
+    )  # pragma: no cover
 
 
 def merge_partition_solutions(
@@ -367,6 +665,19 @@ def merge_partition_solutions(
     )
 
 
+def record_widening_statistics(
+    result: ProvisioningResult,
+    outcome: WideningOutcome,
+    base_slack: Optional[int],
+) -> None:
+    """Surface the widening ladder's work in a result's solve statistics."""
+    result.solve_statistics["slack_retries"] = float(outcome.slack_retries)
+    used = outcome.slack_used(base_slack)
+    if used is not None:
+        result.solve_statistics["footprint_slack_used"] = used
+    result.infeasible_components = list(outcome.infeasible_keys)
+
+
 def provision_partitioned(
     statements: Sequence[Statement],
     logical_topologies: Mapping[str, LogicalTopology],
@@ -374,60 +685,53 @@ def provision_partitioned(
     topology: Topology,
     placements: Mapping[str, Iterable[str]],
     heuristic: PathSelectionHeuristic = PathSelectionHeuristic.MIN_MAX_RATIO,
-    solver=None,
-    max_workers: int = 0,
-    footprint_slack: Optional[int] = DEFAULT_FOOTPRINT_SLACK,
+    options: Optional[ProvisionOptions] = None,
+    solver=_UNSET,
+    max_workers=_UNSET,
+    footprint_slack=_UNSET,
 ) -> ProvisioningResult:
     """The partitioned full-compile provisioning path (see module docstring).
 
     Logical topologies are tightened to their cost-bounded subgraphs first
-    (``footprint_slack`` extra hops over each statement's optimum; ``None``
-    disables tightening), so unconstrained ``.*`` paths no longer collapse
-    the partition graph into one component.  The tightened topologies are
-    used both for footprints and for the component models, keeping the
-    decomposition exact.
+    (``options.footprint_slack`` extra hops over each statement's optimum;
+    ``None`` disables tightening), so unconstrained ``.*`` paths no longer
+    collapse the partition graph into one component.  The tightened
+    topologies are used both for footprints and for the component models,
+    keeping the decomposition exact; components infeasible under the bound
+    are retried with geometrically widened slack
+    (:func:`solve_components_with_widening`) unless ``options.widen_slack``
+    is off.
     """
+    options = coalesce_options(
+        options,
+        owner="provision_partitioned()",
+        solver=solver,
+        max_workers=max_workers,
+        footprint_slack=footprint_slack,
+    )
     statements_by_id = {statement.identifier: statement for statement in statements}
     capacity_mbps = topology_capacities_mbps(topology)
 
-    construction_start = time.perf_counter()
-    logical_topologies = tighten_logical_topologies(
-        logical_topologies, footprint_slack
+    outcome = solve_components_with_widening(
+        statements_by_id,
+        logical_topologies,
+        rates,
+        capacity_mbps,
+        heuristic,
+        solver=options.resolved_solver(),
+        max_workers=options.max_workers,
+        footprint_slack=options.footprint_slack,
+        widen=options.widen_slack,
     )
-    footprints = link_footprints(statements_by_id, logical_topologies)
-    specs = partition_statements(footprints)
-    built_models: List[ProvisioningModel] = []
-    build_seconds: List[float] = []
-    for spec in specs:
-        build_start = time.perf_counter()
-        built_models.append(
-            build_partition_model(
-                spec, statements_by_id, logical_topologies, rates,
-                capacity_mbps, heuristic,
-            )
-        )
-        build_seconds.append(time.perf_counter() - build_start)
-    lp_construction_seconds = time.perf_counter() - construction_start
-
-    solve_start = time.perf_counter()
-    outcomes = solve_partition_models(
-        built_models, solver=solver, max_workers=max_workers
-    )
-    lp_solve_seconds = time.perf_counter() - solve_start
-
-    solutions = [
-        extract_partition_solution(spec, built, outcome, seconds)
-        for spec, built, outcome, seconds in zip(
-            specs, built_models, outcomes, build_seconds
-        )
-    ]
-    return merge_partition_solutions(
-        solutions,
+    result = merge_partition_solutions(
+        outcome.solutions,
         statements_by_id,
         rates,
         topology,
         placements,
-        lp_construction_seconds,
-        lp_solve_seconds,
+        outcome.construction_seconds,
+        outcome.solve_seconds,
         heuristic=heuristic,
     )
+    record_widening_statistics(result, outcome, options.footprint_slack)
+    return result

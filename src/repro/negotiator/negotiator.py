@@ -129,7 +129,7 @@ class Negotiator:
             return
         if holder is not self:
             delta = self._globalize_delta(compiler, previous, delta)
-        result = compiler.recompile(delta)
+        result = compiler.session().apply(delta)
         self.last_reprovision = result
         if holder is not self:
             holder.last_reprovision = result

@@ -206,6 +206,45 @@ class Topology:
                 subgraph.add_link(link.source, link.target, link.capacity, link.latency_ms)
         return subgraph
 
+    def without(
+        self,
+        links: Iterable[Tuple[str, str]] = (),
+        nodes: Iterable[str] = (),
+    ) -> "Topology":
+        """A derived topology with the given links and nodes failed out.
+
+        ``links`` are undirected (u, v) name pairs; ``nodes`` lose all their
+        incident links along with themselves.  The *same* :class:`Node`
+        objects are re-added (as :meth:`switch_subgraph` does), so hosts
+        keep their MAC/IP assignments — re-creating them through
+        :meth:`add_host` would re-draw from the address counter.  Unknown
+        nodes or links raise :class:`TopologyError`; failing a host is
+        rejected (hosts are policy endpoints, not fabric elements).
+        """
+        failed_nodes = set(nodes)
+        for name in failed_nodes:
+            node = self.node(name)
+            if node.is_host:
+                raise TopologyError(
+                    f"cannot fail host {name!r}: only switches and "
+                    "middleboxes can fail"
+                )
+        failed_links = set()
+        for source, target in links:
+            self.link(source, target)  # existence check
+            failed_links.add(tuple(sorted((source, target))))
+        derived = Topology(name=f"{self.name}-degraded")
+        for node in self.nodes():
+            if node.name not in failed_nodes:
+                derived.add_node(node)
+        for link in self.links():
+            if tuple(sorted((link.source, link.target))) in failed_links:
+                continue
+            if link.source in failed_nodes or link.target in failed_nodes:
+                continue
+            derived.add_link(link.source, link.target, link.capacity, link.latency_ms)
+        return derived
+
     def shortest_path(self, source: str, target: str) -> List[str]:
         """A shortest hop-count path between two locations."""
         try:

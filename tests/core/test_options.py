@@ -1,0 +1,114 @@
+"""The unified ProvisionOptions surface and its legacy-keyword shim."""
+
+import warnings
+
+import pytest
+
+from repro.core import DEFAULT_FOOTPRINT_SLACK, MerlinCompiler, ProvisionOptions
+from repro.core.options import coalesce_options
+from repro.lp.branch_and_bound import BranchAndBoundSolver
+from repro.lp.scipy_backend import ScipySolver
+from repro.topology.generators import figure2_example
+from repro.units import Bandwidth
+
+PLACEMENTS = {"dpi": ("m1",), "nat": ("m1",)}
+
+SOURCE = """
+[ x : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 80) -> .* dpi .* ],
+min(x, 25MB/s)
+"""
+
+
+class TestProvisionOptions:
+    def test_defaults(self):
+        options = ProvisionOptions()
+        assert options.partition is True
+        assert options.footprint_slack == DEFAULT_FOOTPRINT_SLACK
+        assert options.widen_slack is True
+        assert options.warm_start == "auto"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ProvisionOptions().partition = False
+
+    def test_invalid_warm_start_rejected(self):
+        with pytest.raises(ValueError, match="warm_start"):
+            ProvisionOptions(warm_start="sometimes")
+
+    def test_resolved_solver_prefers_explicit_instance(self):
+        backend = ScipySolver()
+        options = ProvisionOptions(solver=backend, node_limit=10)
+        assert options.resolved_solver() is backend
+
+    def test_resolved_solver_node_limit_builds_branch_and_bound(self):
+        resolved = ProvisionOptions(node_limit=10).resolved_solver()
+        assert isinstance(resolved, BranchAndBoundSolver)
+
+    def test_resolved_solver_time_limit_builds_scipy(self):
+        resolved = ProvisionOptions(time_limit_seconds=1.0).resolved_solver()
+        assert isinstance(resolved, ScipySolver)
+
+    def test_resolved_solver_default_is_none(self):
+        assert ProvisionOptions().resolved_solver() is None
+
+
+class TestCoalesceOptions:
+    def test_no_legacy_keywords_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = coalesce_options(None, owner="test")
+        assert resolved == ProvisionOptions()
+
+    def test_legacy_keyword_warns_and_overrides(self):
+        with pytest.warns(DeprecationWarning, match="footprint_slack.*test"):
+            resolved = coalesce_options(
+                ProvisionOptions(), owner="test", footprint_slack=7
+            )
+        assert resolved.footprint_slack == 7
+
+    def test_none_is_a_meaningful_override(self):
+        with pytest.warns(DeprecationWarning):
+            resolved = coalesce_options(
+                None, owner="test", footprint_slack=None
+            )
+        assert resolved.footprint_slack is None
+
+
+class TestCompilerShim:
+    def test_legacy_compiler_keywords_warn(self):
+        with pytest.warns(DeprecationWarning, match="MerlinCompiler"):
+            compiler = MerlinCompiler(
+                topology=figure2_example(capacity=Bandwidth.gbps(2)),
+                placements=PLACEMENTS,
+                footprint_slack=3,
+            )
+        assert compiler.options.footprint_slack == 3
+        assert compiler.footprint_slack == 3
+
+    def test_options_path_warns_nothing_and_binds_attributes(self):
+        backend = ScipySolver()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            compiler = MerlinCompiler(
+                topology=figure2_example(capacity=Bandwidth.gbps(2)),
+                placements=PLACEMENTS,
+                options=ProvisionOptions(solver=backend, max_workers=2),
+            )
+        assert compiler.options.max_workers == 2
+        assert compiler.solver is backend
+        assert compiler.max_solver_workers == 2
+
+    def test_compile_and_recompile_share_one_options_value(self):
+        compiler = MerlinCompiler(
+            topology=figure2_example(capacity=Bandwidth.gbps(2)),
+            placements=PLACEMENTS,
+            overlap="trust",
+            add_catch_all=False,
+            generate_code=False,
+            options=ProvisionOptions(max_workers=0),
+        )
+        options_before = compiler.options
+        compiler.compile(SOURCE)
+        assert compiler.options is options_before

@@ -1,0 +1,143 @@
+"""The scenario generator's determinism and the replay driver's guarantees."""
+
+import pytest
+
+from repro.incremental import PolicyDelta, TopologyDelta
+from repro.scenarios import (
+    LinkFailure,
+    LinkRecovery,
+    MiddleboxRewrite,
+    RateRenegotiation,
+    ScenarioConfig,
+    SwitchFailure,
+    TenantJoin,
+    TenantLeave,
+    allocations_match,
+    build_population,
+    generate_scenario,
+    replay,
+    serialize_events,
+)
+from repro.core import MerlinCompiler
+
+
+def _quick(seed: int = 0, events: int = 30) -> ScenarioConfig:
+    return ScenarioConfig(seed=seed, events=events)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        first = generate_scenario(_quick(seed=7, events=120))
+        second = generate_scenario(_quick(seed=7, events=120))
+        assert serialize_events(first.events) == serialize_events(second.events)
+
+    def test_different_seeds_differ(self):
+        first = generate_scenario(_quick(seed=1))
+        second = generate_scenario(_quick(seed=2))
+        assert serialize_events(first.events) != serialize_events(second.events)
+
+    def test_population_is_seed_independent(self):
+        first = generate_scenario(_quick(seed=1))
+        second = generate_scenario(_quick(seed=2))
+        assert (
+            first.population.base_rates_mbps == second.population.base_rates_mbps
+        )
+        assert [pod.middlebox for pod in first.population.pods] == [
+            pod.middlebox for pod in second.population.pods
+        ]
+
+
+class TestStreamShape:
+    def test_requested_event_count(self):
+        scenario = generate_scenario(_quick(events=40))
+        assert len(scenario.events) == 40
+        assert [event.index for event in scenario.events] == list(range(40))
+
+    def test_times_are_nondecreasing(self):
+        scenario = generate_scenario(_quick(events=60))
+        times = [event.time for event in scenario.events]
+        assert times == sorted(times)
+
+    def test_event_deltas_are_typed(self):
+        scenario = generate_scenario(_quick(seed=3, events=120))
+        kinds_seen = set()
+        for event in scenario.events:
+            delta = event.to_delta()
+            if isinstance(
+                event,
+                (LinkFailure, LinkRecovery, SwitchFailure),
+            ):
+                assert isinstance(delta, TopologyDelta)
+            elif isinstance(
+                event, (TenantJoin, TenantLeave, RateRenegotiation, MiddleboxRewrite)
+            ):
+                assert isinstance(delta, PolicyDelta)
+            kinds_seen.add(event.kind)
+        assert "renegotiation" in kinds_seen
+        assert "link-failure" in kinds_seen
+
+    def test_population_compiles_standalone(self):
+        population = build_population(ScenarioConfig())
+        compiler = MerlinCompiler(
+            topology=population.topology,
+            placements=population.placements,
+            overlap="trust",
+            add_catch_all=False,
+            generate_code=False,
+        )
+        result = compiler.compile(population.policy)
+        assert set(result.paths) == set(population.base_rates_mbps)
+
+
+class TestReplay:
+    def test_stream_replays_without_invalidation(self):
+        scenario = generate_scenario(_quick(seed=1, events=30))
+        report = replay(scenario)
+        assert report.invalidations == 0
+        assert report.simulator_inconsistencies == 0
+        assert report.applied + report.rejected == 30
+        assert report.min_availability() == pytest.approx(1.0)
+
+    def test_final_allocation_matches_from_scratch_compile(self):
+        # The acceptance property: replaying any generated stream and then
+        # compiling the final policy from scratch on the final topology
+        # yields identical allocations.
+        for seed in (1, 5):
+            scenario = generate_scenario(_quick(seed=seed, events=25))
+            report = replay(scenario)
+            assert report.final_identical is True, f"seed {seed}"
+
+    def test_summary_reports_the_headline_numbers(self):
+        scenario = generate_scenario(_quick(seed=1, events=20))
+        report = replay(scenario)
+        text = report.summary()
+        assert "invalidations=0" in text
+        assert "p50=" in text and "p99=" in text
+        assert "availability" in text
+        assert "from-scratch compile: yes" in text
+
+    def test_latencies_recorded_per_applied_event(self):
+        scenario = generate_scenario(_quick(seed=1, events=20))
+        report = replay(scenario)
+        latencies = report.latencies_ms()
+        assert len(latencies) == report.applied
+        assert all(value > 0.0 for value in latencies)
+
+
+class TestAllocationsMatch:
+    def test_detects_path_difference(self):
+        scenario = generate_scenario(_quick(seed=1, events=5))
+        population = scenario.population
+        compiler = MerlinCompiler(
+            topology=population.topology,
+            placements=population.placements,
+            overlap="trust",
+            add_catch_all=False,
+            generate_code=False,
+        )
+        result = compiler.compile(population.policy)
+        assert allocations_match(result, result)
+        mutated = compiler.compile(population.policy)
+        some_id = next(iter(mutated.paths))
+        mutated.paths[some_id].path = mutated.paths[some_id].path[::-1]
+        assert not allocations_match(result, mutated)
