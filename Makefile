@@ -1,18 +1,20 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test check bench bench-smoke bench-reprovision bench-churn
+.PHONY: test check bench bench-smoke bench-reprovision bench-churn bench-checkpoint
 
 # Tier-1 verification: the full unit + benchmark suite at quick scale.
 test:
 	$(PYTEST) -x -q
 
 # CI gate: tier-1 tests plus a byte-compile of the whole source tree
-# (catches syntax errors in modules the suite does not import) plus the
-# seeded churn replay (zero session invalidations under failures).
+# (catches syntax errors in modules the suite does not import), the
+# seeded churn replay (zero session invalidations under failures), and
+# the checkpoint-scale guard (per-delta checkpoint cost stays O(delta)
+# between the 1k and 100k statement populations).
 check:
 	$(PYTEST) -x -q
 	python -m compileall -q src
-	$(PYTEST) -q benchmarks/test_churn.py
+	$(PYTEST) -q benchmarks/test_churn.py benchmarks/test_checkpoint_scale.py
 
 # The full benchmark suite (set MERLIN_BENCH_SCALE=full for paper scale).
 bench:
@@ -26,7 +28,8 @@ bench-smoke:
 	$(PYTEST) -q benchmarks/test_fig8_scaling.py::test_fig8_smallest_point_smoke \
 		benchmarks/test_fig10b_reprovisioning.py::test_reprovision_smoke \
 		benchmarks/test_fig10b_reprovisioning.py::test_footprint_partitioning_smoke \
-		benchmarks/test_churn.py
+		benchmarks/test_churn.py \
+		benchmarks/test_checkpoint_scale.py
 
 # Figure 10b': incremental re-provisioning latency vs full recompiles
 # (writes benchmarks/results/fig10b_reprovisioning.txt).
@@ -40,3 +43,11 @@ bench-reprovision:
 # MERLIN_BENCH_SCALE=full runs the 500-event arity-6 stream.
 bench-churn:
 	$(PYTEST) -q benchmarks/test_churn.py
+
+# Checkpoint cost at scale: undo-journal marks vs legacy copying
+# snapshots at 1k vs 100k statements, plus a join/leave/renegotiation
+# stream sustained at the large population, one transaction per event
+# (writes benchmarks/results/checkpoint_scale.txt; pinned seed).
+# MERLIN_BENCH_SCALE=full raises the large population to 250k.
+bench-checkpoint:
+	$(PYTEST) -q benchmarks/test_checkpoint_scale.py

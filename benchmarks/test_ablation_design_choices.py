@@ -13,8 +13,7 @@ and the path-selection design space:
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.core import PathSelectionHeuristic, compile_policy
-from repro.core.compiler import MerlinCompiler
+from repro.core import MerlinCompiler, PathSelectionHeuristic, ProvisionOptions, compile_policy
 from repro.lp import BranchAndBoundSolver, ScipySolver
 from repro.topology.generators import dumbbell, fat_tree
 from repro.units import Bandwidth
@@ -49,7 +48,10 @@ def _run_solver_ablation():
         ("branch-and-bound", BranchAndBoundSolver()),
     ):
         compiler = MerlinCompiler(
-            topology=topology, overlap="trust", generate_code=False, solver=solver
+            topology=topology,
+            overlap="trust",
+            generate_code=False,
+            options=ProvisionOptions(solver=solver),
         )
         result = compiler.compile(policy)
         rows.append(

@@ -17,11 +17,8 @@ refinement that changes *paths* — through the incremental engine:
 Run with:  PYTHONPATH=src python examples/adaptive_reprovisioning.py
 """
 
-from repro import parse_policy
-from repro.core import MerlinCompiler
+from repro import Bandwidth, MerlinCompiler, figure2_example, parse_policy
 from repro.negotiator import Negotiator
-from repro.topology.generators import figure2_example
-from repro.units import Bandwidth
 
 PLACEMENTS = {"dpi": ["h1", "h2", "m1"], "nat": ["m1"], "log": ["m1"]}
 

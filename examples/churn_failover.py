@@ -21,10 +21,8 @@ A walkthrough of the scenario engine and the unified session API:
 Run with:  PYTHONPATH=src python examples/churn_failover.py
 """
 
-from repro.incremental import PolicyDelta, RateUpdate, TopologyDelta
+from repro import Bandwidth, MerlinCompiler, PolicyDelta, RateUpdate, TopologyDelta
 from repro.scenarios import ScenarioConfig, generate_scenario, replay
-from repro.core import MerlinCompiler
-from repro.units import Bandwidth
 
 
 def main() -> None:

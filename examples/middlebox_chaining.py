@@ -14,8 +14,7 @@ each packet-processing function was placed.
 Run with:  python examples/middlebox_chaining.py
 """
 
-from repro import Bandwidth, PathSelectionHeuristic
-from repro.core.compiler import MerlinCompiler
+from repro import Bandwidth, MerlinCompiler, PathSelectionHeuristic
 from repro.experiments.policy_builders import FIGURE4_PLACEMENTS, stanford_with_middleboxes
 
 

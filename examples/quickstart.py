@@ -8,8 +8,7 @@ tiny example of Figure 2: two hosts, two switches, and one middlebox.
 Run with:  python examples/quickstart.py
 """
 
-from repro import Bandwidth, compile_policy
-from repro.topology.generators import figure2_example
+from repro import Bandwidth, compile_policy, figure2_example
 
 POLICY = """
 [ x : (eth.src = 00:00:00:00:00:01 and

@@ -16,6 +16,12 @@ Quickstart::
     topology = fat_tree(4)
     result = compile_policy(policy_source, topology, placements={"dpi": [...]})
     print(result.instructions.counts())
+
+The package root is the supported import surface for the whole lifecycle:
+``MerlinCompiler`` + ``ProvisionOptions`` to compile, ``ProvisioningSession``
+with ``PolicyDelta`` / ``TopologyDelta`` / ``ScenarioEvent`` to stream
+changes at a live compile, and ``ControlPlane`` + ``AdmissionPolicy`` to run
+the compiler as a multi-tenant provisioning service.
 """
 
 from .core import (
@@ -23,16 +29,22 @@ from .core import (
     MerlinCompiler,
     PathSelectionHeuristic,
     Policy,
+    ProvisioningSession,
+    ProvisionOptions,
     Statement,
     compile_policy,
     parse_policy,
 )
+from .incremental import PolicyDelta, RateUpdate, TopologyDelta, policy_delta
 from .negotiator import Negotiator, delegate, verify_refinement
+from .scenarios import ScenarioEvent
+from .service import AdmissionPolicy, ControlPlane
 from .topology import (
     Topology,
     balanced_tree,
     dumbbell,
     fat_tree,
+    figure2_example,
     linear,
     single_switch,
     stanford_campus,
@@ -47,9 +59,18 @@ __all__ = [
     "MerlinCompiler",
     "PathSelectionHeuristic",
     "Policy",
+    "ProvisioningSession",
+    "ProvisionOptions",
     "Statement",
     "compile_policy",
     "parse_policy",
+    "PolicyDelta",
+    "RateUpdate",
+    "TopologyDelta",
+    "policy_delta",
+    "ScenarioEvent",
+    "AdmissionPolicy",
+    "ControlPlane",
     "Negotiator",
     "delegate",
     "verify_refinement",
@@ -57,6 +78,7 @@ __all__ = [
     "balanced_tree",
     "dumbbell",
     "fat_tree",
+    "figure2_example",
     "linear",
     "single_switch",
     "stanford_campus",

@@ -31,7 +31,7 @@ from .options import DEFAULT_FOOTPRINT_SLACK, MAX_WIDENED_SLACK, ProvisionOption
 from .parser import parse_policy
 from .preprocessor import preprocess
 from .provisioning import PathSelectionHeuristic, provision
-from .session import Session
+from .session import ProvisioningSession, Session
 from .sink_tree import SinkTree, compute_sink_tree, compute_sink_trees
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "DEFAULT_FOOTPRINT_SLACK",
     "MAX_WIDENED_SLACK",
     "ProvisionOptions",
+    "ProvisioningSession",
     "Session",
     "LocalRates",
     "localize",

@@ -44,6 +44,7 @@ from .ast import Policy, Statement
 from .localization import LocalRates, localize, localized_formula
 from .logical import LogicalTopology, build_logical_topology, infer_endpoints
 from .options import _UNSET, ProvisionOptions, coalesce_options
+from ..incremental.journal import UndoJournal
 from .parser import parse_policy
 from .preprocessor import DEFAULT_STATEMENT_ID, preprocess
 from .provisioning import (
@@ -62,7 +63,18 @@ def _is_unconstrained_path(path: Regex) -> bool:
 
 @dataclass
 class _CompilerSession:
-    """The live state carried from one compile to subsequent recompiles."""
+    """The live state carried from one compile to subsequent recompiles.
+
+    Transactions are undo-journal based (see
+    ``repro.incremental.journal``): every mutation the recompile pipeline
+    performs on the session flows through ``self.journal`` so
+    :meth:`checkpoint` is O(1) and :meth:`restore` replays only the
+    entries the transaction touched.  The ``logical_cache`` is the one
+    deliberate exception — it is a pure content-addressed memo (key
+    determines value), so stale-free by construction and exempt from
+    exact rollback; the topology-delta path *rebinds* it (journaled), it
+    is never required to match a never-failed session entry-for-entry.
+    """
 
     statements: Dict[str, Statement]
     local_rates: Dict[str, LocalRates]
@@ -95,75 +107,65 @@ class _CompilerSession:
     #: generated catch-all (as opposed to a user-authored statement that
     #: happens to carry that identifier).
     generated_default: bool = False
+    #: Monotonic per-statement sequence stamps.  Statement *order* is
+    #: behaviorally visible (codegen allocates VLANs/queues in policy
+    #: order), but journaled rollback restores dict *contents*, not
+    #: insertion order (undoing a deletion re-inserts at the end).  The
+    #: stamps record the insertion order explicitly; everything
+    #: order-sensitive sorts by them (`_ordered_ids`).
+    seq: Dict[str, int] = field(default_factory=dict)
+    next_seq: int = 0
+    #: The last committed CompilationResult — what an empty/no-op delta
+    #: returns without opening a transaction or touching the solver.
+    last_result: Optional[object] = None
+    journal: UndoJournal = field(default_factory=UndoJournal, repr=False)
 
-    def checkpoint(self) -> "_SessionCheckpoint":
-        """Capture the session (and its engine) for a later :meth:`restore`.
+    def stamp(self, identifier: str) -> None:
+        """Assign ``identifier`` the next insertion-order stamp (journaled)."""
+        self.journal.set_item(self.seq, identifier, self.next_seq)
+        self.journal.set_attr(self, "next_seq", self.next_seq + 1)
 
-        Dict/list copies are shallow: statements, rates, endpoint tuples,
-        logical topologies, path assignments, and sink trees are never
-        mutated in place by the recompile pipeline (collections are only
-        rebound or have entries added/removed), so restoring the copies
-        reinstates the exact pre-delta session.
-        """
-        return _SessionCheckpoint(
-            statements=dict(self.statements),
-            local_rates=dict(self.local_rates),
-            endpoints=dict(self.endpoints),
-            logical_cache=dict(self.logical_cache),
-            guaranteed_logical=dict(self.guaranteed_logical),
-            best_effort_paths=dict(self.best_effort_paths),
-            sink_trees=self.sink_trees,
-            infeasible=list(self.infeasible),
-            provisioning=self.provisioning,
-            active_topology=self.active_topology,
-            failed_links=self.failed_links,
-            failed_nodes=self.failed_nodes,
-            base_footprints=dict(self.base_footprints),
-            generated_default=self.generated_default,
-            engine_checkpoint=(
+    def ordered_ids(self) -> List[str]:
+        """Statement identifiers in insertion order (rollback-stable)."""
+        return sorted(self.statements, key=self.seq.__getitem__)
+
+    def checkpoint(self) -> "_SessionToken":
+        """Open a transaction: O(1) marks on the session and engine journals."""
+        return _SessionToken(
+            mark=self.journal.mark(),
+            engine_mark=(
                 self.engine.checkpoint() if self.engine is not None else None
             ),
         )
 
-    def restore(self, saved: "_SessionCheckpoint") -> None:
-        """Roll the session (and its engine) back to a :meth:`checkpoint`."""
-        self.statements = dict(saved.statements)
-        self.local_rates = dict(saved.local_rates)
-        self.endpoints = dict(saved.endpoints)
-        self.logical_cache = dict(saved.logical_cache)
-        self.guaranteed_logical = dict(saved.guaranteed_logical)
-        self.best_effort_paths = dict(saved.best_effort_paths)
-        self.sink_trees = saved.sink_trees
-        self.infeasible = list(saved.infeasible)
-        self.provisioning = saved.provisioning
-        self.active_topology = saved.active_topology
-        self.failed_links = saved.failed_links
-        self.failed_nodes = saved.failed_nodes
-        self.base_footprints = dict(saved.base_footprints)
-        self.generated_default = saved.generated_default
-        if self.engine is not None and saved.engine_checkpoint is not None:
-            self.engine.restore(saved.engine_checkpoint)
+    def restore(self, saved: "_SessionToken") -> None:
+        """Roll the session (and its engine) back to a :meth:`checkpoint`.
+
+        Replays O(changes since the checkpoint) undo entries.  An engine
+        created *inside* the transaction (no engine existed at checkpoint
+        time) is discarded wholesale — it is rebuilt lazily, and its
+        bookkeeping was derived from session state that just rolled back.
+        """
+        self.journal.rollback(saved.mark)
+        if self.engine is not None:
+            if saved.engine_mark is None:
+                self.engine = None
+            else:
+                self.engine.restore(saved.engine_mark)
+
+    def release(self, saved: "_SessionToken") -> None:
+        """Commit: drop the marks and truncate unreachable journal entries."""
+        self.journal.release(saved.mark)
+        if saved.engine_mark is not None and self.engine is not None:
+            self.engine.release(saved.engine_mark)
 
 
 @dataclass(frozen=True)
-class _SessionCheckpoint:
-    """A shadow snapshot of a :class:`_CompilerSession` (see ``checkpoint``)."""
+class _SessionToken:
+    """An O(1) transaction token over a :class:`_CompilerSession`."""
 
-    statements: Dict[str, Statement]
-    local_rates: Dict[str, LocalRates]
-    endpoints: Dict[str, Tuple[Optional[str], Optional[str]]]
-    logical_cache: Dict
-    guaranteed_logical: Dict[str, LogicalTopology]
-    best_effort_paths: Dict[str, PathAssignment]
-    sink_trees: Dict
-    infeasible: List[str]
-    provisioning: ProvisioningResult
-    active_topology: Optional[Topology]
-    failed_links: frozenset
-    failed_nodes: frozenset
-    base_footprints: Dict[str, frozenset]
-    generated_default: bool
-    engine_checkpoint: Optional[object]
+    mark: object  # JournalMark into the session's journal
+    engine_mark: Optional[object]  # EngineMark, when an engine existed
 
 
 @dataclass
@@ -367,6 +369,11 @@ class MerlinCompiler:
             active_topology=self.topology,
             base_footprints=base_footprints,
             generated_default=preprocess_result.added_default,
+            seq={
+                statement.identifier: index
+                for index, statement in enumerate(preprocessed.statements)
+            },
+            next_seq=len(preprocessed.statements),
         )
 
         result = CompilationResult(
@@ -379,6 +386,7 @@ class MerlinCompiler:
             link_reservations=provisioning.link_reservations,
         )
         result.attach_link_capacities(self._link_capacities())
+        self._session.last_result = result
         return result
 
     # -- the incremental fast path ------------------------------------------------
@@ -408,10 +416,10 @@ class MerlinCompiler:
         predicates), and the generated catch-all statement's remainder
         predicate is recomputed whenever the statement population changes.
 
-        Every recompile is a *transaction*: the delta applies against a
-        shadow checkpoint of the session (and its engine), commits on
-        successful solve + code generation, and rolls back on **any**
-        failure — a delta rejected by validation (unknown identifiers,
+        Every recompile is a *transaction*: the delta applies under an
+        undo-journal checkpoint of the session (and its engine) — O(1) to
+        open, O(delta) to roll back — commits on successful solve + code
+        generation, and rolls back on **any** failure — a delta rejected by validation (unknown identifiers,
         overlap violations, unprovisionable guarantees), an infeasible
         solve, or a code-generation error all leave the session usable and
         byte-equivalent to one that never saw the delta (the error still
@@ -424,6 +432,12 @@ class MerlinCompiler:
             )
         from ..incremental.delta import TopologyDelta
 
+        if delta.is_empty():
+            # No-op delta: nothing to validate, solve, or regenerate — and
+            # nothing to protect, so no transaction is opened and the undo
+            # journal stays empty.  Control planes polling with empty
+            # deltas (or coalescing batches down to nothing) pay nothing.
+            return self._noop_result(self._session)
         if isinstance(delta, TopologyDelta):
             return self._recompile_topology(delta)
         if delta.remove and self.overlap == "priority":
@@ -467,6 +481,44 @@ class MerlinCompiler:
             # need only revert their own policy.
             session.restore(saved)
             raise
+        finally:
+            # Commit (or, after a rollback, retire the still-live mark):
+            # drops the checkpoint and truncates the undo journal.
+            session.release(saved)
+        return result
+
+    def _noop_result(self, session) -> CompilationResult:
+        """Re-package the committed state for an empty delta.
+
+        The allocation payload (policy, paths, rates, instructions) is the
+        last committed result's, shared structurally — nothing was solved
+        or regenerated, and the statistics say so: zero timings, zero
+        dirty partitions, no widening retries.  Population-shape counters
+        (statement counts, partition count, MIP size) still describe the
+        committed state.
+        """
+        last = session.last_result
+        statistics = dataclasses.replace(
+            last.statistics,
+            lp_construction_seconds=0.0,
+            lp_solve_seconds=0.0,
+            rateless_seconds=0.0,
+            codegen_seconds=0.0,
+            total_seconds=0.0,
+            dirty_partitions=0,
+            slack_retries=0,
+            component_solve_seconds=(),
+        )
+        result = CompilationResult(
+            policy=last.policy,
+            paths=last.paths,
+            rates=last.rates,
+            sink_trees=last.sink_trees,
+            instructions=last.instructions,
+            statistics=statistics,
+            link_reservations=last.link_reservations,
+        )
+        result.attach_link_capacities(self._link_capacities(self._active(session)))
         return result
 
     def _recompile_topology(self, delta) -> CompilationResult:
@@ -505,29 +557,34 @@ class MerlinCompiler:
                 if failed_links or failed_nodes
                 else self.topology
             )
-            session.active_topology = active
-            session.failed_links = frozenset(failed_links)
-            session.failed_nodes = frozenset(failed_nodes)
+            journal = session.journal
+            journal.set_attr(session, "active_topology", active)
+            journal.set_attr(session, "failed_links", frozenset(failed_links))
+            journal.set_attr(session, "failed_nodes", frozenset(failed_nodes))
             # Cached products were built against the previous active
-            # topology; the (path, endpoints) keys do not encode it.
-            session.logical_cache = {}
+            # topology; the (path, endpoints) keys do not encode it.  The
+            # rebind is journaled (rollback reinstates the old cache dict);
+            # entries added to the fresh dict inside this transaction are
+            # simply discarded with it.
+            journal.set_attr(session, "logical_cache", {})
             engine.set_topology(active)
             self._rebuild_affected(session, engine, active, self._changed_links(delta))
             if session.sink_trees:
                 # Population unchanged, so *whether* sink trees are needed
                 # is unchanged — but their routes must follow the active
                 # fabric.
-                session.sink_trees = compute_sink_trees(active)
+                journal.set_attr(session, "sink_trees", compute_sink_trees(active))
             rateless_seconds = time.perf_counter() - rateless_start
             result = self._finalize_recompile(
                 session, total_start, rateless_seconds
             )
         except Exception:
             # Same transaction discipline as the policy path; the engine
-            # checkpoint carries the previous topology, so restore() also
-            # reverts set_topology().
+            # journal recorded set_topology(), so restore() also reverts it.
             session.restore(saved)
             raise
+        finally:
+            session.release(saved)
         return result
 
     def _validate_topology_delta(self, session, delta) -> None:
@@ -620,19 +677,23 @@ class MerlinCompiler:
                 previous = session.guaranteed_logical[identifier]
                 if set(previous.edges) == set(logical.edges):
                     continue
-                session.guaranteed_logical[identifier] = logical
+                session.journal.set_item(
+                    session.guaranteed_logical, identifier, logical
+                )
                 engine.replace_logical(identifier, logical)
             else:
                 assignment = self._best_effort_assignment(
                     statement, logical, topology=active
                 )
-                session.best_effort_paths.pop(identifier, None)
+                session.journal.del_item(session.best_effort_paths, identifier)
                 if identifier in session.infeasible:
-                    session.infeasible.remove(identifier)
+                    session.journal.list_remove(session.infeasible, identifier)
                 if assignment is None:
-                    session.infeasible.append(identifier)
+                    session.journal.list_append(session.infeasible, identifier)
                 else:
-                    session.best_effort_paths[identifier] = assignment
+                    session.journal.set_item(
+                        session.best_effort_paths, identifier, assignment
+                    )
 
     def _finalize_recompile(
         self, session, total_start: float, rateless_seconds: float
@@ -645,17 +706,26 @@ class MerlinCompiler:
         """
         active = session.active_topology or self.topology
         provisioning = session.engine.resolve()
-        session.provisioning = provisioning
+        session.journal.set_attr(session, "provisioning", provisioning)
 
         paths: Dict[str, PathAssignment] = dict(provisioning.paths)
         paths.update(session.best_effort_paths)
+        # Iterate in sequence-stamp order, not raw dict order: journaled
+        # rollback restores dict contents but can re-insert undeleted keys
+        # at the end, and statement order is byte-visible downstream
+        # (codegen allocates VLANs/queues in policy order).
+        ordered = session.ordered_ids()
         rates = {
-            identifier: RateAllocation.from_local_rates(local)
-            for identifier, local in session.local_rates.items()
+            identifier: RateAllocation.from_local_rates(
+                session.local_rates[identifier]
+            )
+            for identifier in ordered
         }
         policy = Policy(
-            statements=tuple(session.statements.values()),
-            formula=localized_formula(session.local_rates),
+            statements=tuple(session.statements[i] for i in ordered),
+            formula=localized_formula(
+                {i: session.local_rates[i] for i in ordered}
+            ),
         )
 
         codegen_seconds = 0.0
@@ -700,6 +770,7 @@ class MerlinCompiler:
             link_reservations=provisioning.link_reservations,
         )
         result.attach_link_capacities(self._link_capacities(active))
+        session.journal.set_attr(session, "last_result", result)
         return result
 
     @property
@@ -802,16 +873,18 @@ class MerlinCompiler:
             raise ProvisioningError(
                 f"cannot remove unknown statement {identifier!r}"
             )
+        journal = session.journal
         if engine.has_statement(identifier):
             engine.remove_statement(identifier)
-            session.guaranteed_logical.pop(identifier, None)
-        del session.statements[identifier]
-        del session.local_rates[identifier]
-        session.endpoints.pop(identifier, None)
-        session.best_effort_paths.pop(identifier, None)
-        session.base_footprints.pop(identifier, None)
+            journal.del_item(session.guaranteed_logical, identifier)
+        journal.del_item(session.statements, identifier)
+        journal.del_item(session.local_rates, identifier)
+        journal.del_item(session.endpoints, identifier)
+        journal.del_item(session.best_effort_paths, identifier)
+        journal.del_item(session.base_footprints, identifier)
+        journal.del_item(session.seq, identifier)
         if identifier in session.infeasible:
-            session.infeasible.remove(identifier)
+            journal.list_remove(session.infeasible, identifier)
 
     def _add_statement(self, session, engine, added) -> None:
         statement = added.statement
@@ -824,18 +897,24 @@ class MerlinCompiler:
         local = LocalRates(
             identifier=identifier, guarantee=added.guarantee, cap=added.cap
         )
-        session.statements[identifier] = statement
-        session.local_rates[identifier] = local
-        session.endpoints[identifier] = infer_endpoints(
-            statement, self._active(session)
+        journal = session.journal
+        journal.set_item(session.statements, identifier, statement)
+        session.stamp(identifier)
+        journal.set_item(session.local_rates, identifier, local)
+        journal.set_item(
+            session.endpoints,
+            identifier,
+            infer_endpoints(statement, self._active(session)),
         )
         if local.is_guaranteed:
             self._enter_guaranteed(session, engine, statement, local)
         else:
             self._enter_best_effort(session, statement)
             if not _is_unconstrained_path(statement.path):
-                session.base_footprints[identifier] = self._base_footprint(
-                    session, statement
+                journal.set_item(
+                    session.base_footprints,
+                    identifier,
+                    self._base_footprint(session, statement),
                 )
 
     def _update_rates(self, session, engine, update) -> None:
@@ -849,7 +928,7 @@ class MerlinCompiler:
             identifier=identifier, guarantee=update.guarantee, cap=update.cap
         )
         was_guaranteed = engine.has_statement(identifier)
-        session.local_rates[identifier] = local
+        session.journal.set_item(session.local_rates, identifier, local)
         if local.is_guaranteed and was_guaranteed:
             engine.update_rates(identifier, local.guarantee, cap=local.cap)
         elif local.is_guaranteed and not was_guaranteed:
@@ -858,7 +937,7 @@ class MerlinCompiler:
         elif not local.is_guaranteed and was_guaranteed:
             # Demoted to best-effort: leaves the MIP.
             engine.remove_statement(identifier)
-            session.guaranteed_logical.pop(identifier, None)
+            session.journal.del_item(session.guaranteed_logical, identifier)
             self._enter_best_effort(session, statement)
 
     def _enter_guaranteed(self, session, engine, statement, local) -> None:
@@ -880,14 +959,17 @@ class MerlinCompiler:
             session.logical_cache, statement, source, destination,
             topology=self._active(session),
         )
-        session.guaranteed_logical[identifier] = logical
-        session.best_effort_paths.pop(identifier, None)
+        journal = session.journal
+        journal.set_item(session.guaranteed_logical, identifier, logical)
+        journal.del_item(session.best_effort_paths, identifier)
         if identifier not in session.base_footprints:
             # Adds record their footprint up front; this covers promotions
             # of unconstrained best-effort statements (never tracked —
             # sink trees serve them) into the MIP.
-            session.base_footprints[identifier] = self._base_footprint(
-                session, statement
+            journal.set_item(
+                session.base_footprints,
+                identifier,
+                self._base_footprint(session, statement),
             )
         engine.add_statement(
             statement, local.guarantee, cap=local.cap, logical=logical
@@ -911,9 +993,11 @@ class MerlinCompiler:
         )
         assignment = self._best_effort_assignment(statement, logical, topology=active)
         if assignment is None:
-            session.infeasible.append(identifier)
+            session.journal.list_append(session.infeasible, identifier)
         else:
-            session.best_effort_paths[identifier] = assignment
+            session.journal.set_item(
+                session.best_effort_paths, identifier, assignment
+            )
 
     def _base_footprint(self, session, statement: Statement) -> frozenset:
         """The statement's untightened product footprint on the *pristine*
@@ -946,10 +1030,16 @@ class MerlinCompiler:
 
     def _real_statements(self, session) -> List[Statement]:
         """The session's statements minus the preprocessor's *generated*
-        catch-all (a user-authored statement named "default" is real)."""
+        catch-all (a user-authored statement named "default" is real).
+
+        Sequence-stamp order, not raw dict order: the order feeds
+        priority-mode predicate narrowing and the catch-all's remainder
+        predicate, both byte-visible in the compiled policy, and dict
+        order is not rollback-stable (see ``_CompilerSession.seq``).
+        """
         return [
-            statement
-            for identifier, statement in session.statements.items()
+            session.statements[identifier]
+            for identifier in session.ordered_ids()
             if not (session.generated_default and identifier == DEFAULT_STATEMENT_ID)
         ]
 
@@ -1134,11 +1224,13 @@ class MerlinCompiler:
         if not self.add_catch_all:
             return
         others = self._real_statements(session)
+        journal = session.journal
         if session.generated_default:
-            session.statements.pop(DEFAULT_STATEMENT_ID, None)
-            session.local_rates.pop(DEFAULT_STATEMENT_ID, None)
-            session.endpoints.pop(DEFAULT_STATEMENT_ID, None)
-            session.generated_default = False
+            journal.del_item(session.statements, DEFAULT_STATEMENT_ID)
+            journal.del_item(session.local_rates, DEFAULT_STATEMENT_ID)
+            journal.del_item(session.endpoints, DEFAULT_STATEMENT_ID)
+            journal.del_item(session.seq, DEFAULT_STATEMENT_ID)
+            journal.set_attr(session, "generated_default", False)
         if any(isinstance(statement.predicate, PTrue) for statement in others):
             return
         if any(
@@ -1156,14 +1248,19 @@ class MerlinCompiler:
         catch_all = Statement(
             identifier=DEFAULT_STATEMENT_ID, predicate=remainder, path=any_path()
         )
-        session.statements[DEFAULT_STATEMENT_ID] = catch_all
-        session.local_rates[DEFAULT_STATEMENT_ID] = LocalRates(
-            identifier=DEFAULT_STATEMENT_ID
+        journal.set_item(session.statements, DEFAULT_STATEMENT_ID, catch_all)
+        session.stamp(DEFAULT_STATEMENT_ID)
+        journal.set_item(
+            session.local_rates,
+            DEFAULT_STATEMENT_ID,
+            LocalRates(identifier=DEFAULT_STATEMENT_ID),
         )
-        session.endpoints[DEFAULT_STATEMENT_ID] = infer_endpoints(
-            catch_all, self._active(session)
+        journal.set_item(
+            session.endpoints,
+            DEFAULT_STATEMENT_ID,
+            infer_endpoints(catch_all, self._active(session)),
         )
-        session.generated_default = True
+        journal.set_attr(session, "generated_default", True)
 
     def _refresh_sink_trees(self, session) -> None:
         """Keep ``session.sink_trees`` consistent with the statement set.
@@ -1180,9 +1277,12 @@ class MerlinCompiler:
             for identifier, statement in session.statements.items()
         )
         if not needed:
-            session.sink_trees = {}
+            if session.sink_trees:
+                session.journal.set_attr(session, "sink_trees", {})
         elif not session.sink_trees:
-            session.sink_trees = compute_sink_trees(self._active(session))
+            session.journal.set_attr(
+                session, "sink_trees", compute_sink_trees(self._active(session))
+            )
 
     # -- shared helpers --------------------------------------------------------------
 

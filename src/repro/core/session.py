@@ -16,9 +16,10 @@ the updated policy on the current active topology would produce.  Every
 failure the session rolls back to its pre-delta state and the error
 propagates, so a driver can record the rejection and keep replaying.
 
-``checkpoint()`` / ``rollback()`` expose the same shadow-snapshot mechanism
-the transactions use internally, for callers that need multi-delta units of
-work (apply several deltas, inspect the result, and abandon all of them).
+``checkpoint()`` / ``rollback()`` / ``commit()`` expose the same
+undo-journal transaction mechanism ``apply`` uses internally, for callers
+that need multi-delta units of work (apply several deltas, inspect the
+result, and abandon or commit all of them).
 """
 
 from __future__ import annotations
@@ -33,11 +34,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .compiler import MerlinCompiler
 
 
-class Session:
+class ProvisioningSession:
     """A handle on a compiler's live incremental session.
 
     Created by :meth:`MerlinCompiler.session`; several handles over one
-    compiler share the same underlying state.  Usable as a context manager
+    compiler share the same underlying state.  Exported from the package
+    root as ``repro.ProvisioningSession`` (``Session`` remains an alias).  Usable as a context manager
     purely for scoping — exiting does **not** discard the compiler's
     session (the compiled policy remains live for later handles).
     """
@@ -51,7 +53,7 @@ class Session:
 
     # -- context manager (scoping only) ------------------------------------
 
-    def __enter__(self) -> "Session":
+    def __enter__(self) -> "ProvisioningSession":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -84,17 +86,34 @@ class Session:
     # -- explicit multi-delta transactions ----------------------------------
 
     def checkpoint(self):
-        """Snapshot the session; pass the token to :meth:`rollback`.
+        """Open a unit of work; pass the token to :meth:`rollback`/:meth:`commit`.
 
-        Snapshots are cheap (shallow copies plus the engine's own
-        checkpoint) and independent — taking a later one does not
-        invalidate an earlier token.
+        Checkpoints are O(1) undo-journal marks, and they *stack*:
+        rolling back to an earlier token invalidates every later one,
+        while a token stays valid across any number of later checkpoints
+        that were committed or rolled back.  Long-running callers should
+        pair every checkpoint with a :meth:`rollback` or :meth:`commit`
+        so the journal can be truncated (an outstanding mark keeps every
+        subsequent undo entry alive).
         """
         return self._session().checkpoint()
 
     def rollback(self, token) -> None:
-        """Restore the session to a :meth:`checkpoint` token's state."""
+        """Restore the session to a :meth:`checkpoint` token's state.
+
+        Replays the undo journal back to the mark — O(changes since the
+        checkpoint).  The token stays valid (the unit of work can retry);
+        call :meth:`commit` when done with it.
+        """
         self._session().restore(token)
+
+    def commit(self, token) -> None:
+        """Retire a :meth:`checkpoint` token, truncating the undo journal.
+
+        Committing an already-invalidated token (one superseded by a
+        rollback to an earlier mark) is a harmless no-op.
+        """
+        self._session().release(token)
 
     # -- introspection -------------------------------------------------------
 
@@ -127,3 +146,7 @@ class Session:
                 "cleared it); compile again before using this handle"
             )
         return inner
+
+
+#: Backwards-compatible alias; new code should use ProvisioningSession.
+Session = ProvisioningSession

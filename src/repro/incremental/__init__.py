@@ -21,7 +21,10 @@ Layout:
   the full compiler's partitioned ``provision()``,
 * :mod:`repro.incremental.engine` — the lazily-materialized delta engine,
 * :mod:`repro.incremental.delta` — :class:`PolicyDelta` and policy diffing
-  for :meth:`MerlinCompiler.recompile` and the negotiator hierarchy.
+  for :meth:`MerlinCompiler.recompile` and the negotiator hierarchy,
+* :mod:`repro.incremental.journal` — the undo journal behind O(1)
+  checkpoints / O(delta) rollbacks (see the README's journal lifecycle
+  section).
 """
 
 from .delta import (
@@ -29,9 +32,11 @@ from .delta import (
     PolicyDelta,
     RateUpdate,
     TopologyDelta,
+    merge_policy_deltas,
     policy_delta,
 )
-from .engine import EngineCheckpoint, IncrementalProvisioner
+from .engine import EngineCheckpoint, EngineMark, IncrementalProvisioner
+from .journal import JournalError, JournalMark, UndoJournal
 from .partition import (
     LinkKey,
     PartitionSpec,
@@ -55,9 +60,14 @@ __all__ = [
     "PolicyDelta",
     "RateUpdate",
     "TopologyDelta",
+    "merge_policy_deltas",
     "policy_delta",
     "EngineCheckpoint",
+    "EngineMark",
     "IncrementalProvisioner",
+    "JournalError",
+    "JournalMark",
+    "UndoJournal",
     "tighten_logical_topologies",
     "LinkKey",
     "PartitionSpec",

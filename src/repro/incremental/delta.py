@@ -56,6 +56,14 @@ class PolicyDelta:
     def num_changes(self) -> int:
         return len(self.add) + len(self.remove) + len(self.update_rates)
 
+    def touched_identifiers(self) -> frozenset:
+        """Every statement identifier this delta adds, removes, or updates."""
+        return frozenset(
+            [entry.statement.identifier for entry in self.add]
+            + list(self.remove)
+            + [update.identifier for update in self.update_rates]
+        )
+
     def __str__(self) -> str:
         return (
             f"PolicyDelta(+{len(self.add)} -{len(self.remove)} "
@@ -185,4 +193,36 @@ def policy_delta(
             )
     return PolicyDelta(
         add=tuple(added), remove=tuple(removed), update_rates=tuple(updates)
+    )
+
+
+def merge_policy_deltas(deltas) -> PolicyDelta:
+    """Merge independent :class:`PolicyDelta`\\ s into one transaction.
+
+    The control-plane daemon batches concurrently-submitted tenant deltas
+    into a single recompile; the merge is sound only when the deltas are
+    *disjoint* — no statement identifier is touched (added, removed, or
+    rate-updated) by more than one of them — because ``recompile`` applies
+    all removes, then all adds, then all updates, which reorders operations
+    across deltas sharing an identifier.  Raises :class:`ValueError` on
+    any overlap; callers fall back to applying the offenders separately.
+    """
+    add: List[DeltaStatement] = []
+    remove: List[str] = []
+    updates: List[RateUpdate] = []
+    touched: set = set()
+    for delta in deltas:
+        mine = delta.touched_identifiers()
+        overlap = touched & mine
+        if overlap:
+            raise ValueError(
+                "cannot merge deltas touching the same statements: "
+                + ", ".join(sorted(overlap))
+            )
+        touched |= mine
+        add.extend(delta.add)
+        remove.extend(delta.remove)
+        updates.extend(delta.update_rates)
+    return PolicyDelta(
+        add=tuple(add), remove=tuple(remove), update_rates=tuple(updates)
     )

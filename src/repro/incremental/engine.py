@@ -41,15 +41,31 @@ solve would return.
 
 Transactions
 ------------
-Because the engine's state is a handful of dictionaries over immutable
-values, a transaction is a shadow snapshot: :meth:`checkpoint` captures the
-session (shallow dict copies — statements, topologies, rates, and solutions
-are never mutated in place) and :meth:`restore` reinstates it exactly,
-including the solution cache, incumbent values, and revision counter.
-:meth:`MerlinCompiler.recompile` wraps every delta in one, so a delta that
-fails *after* validation — an infeasible solve, a code-generation error —
-rolls the session back to its precise pre-delta state instead of
-invalidating it.
+Transactions are an **undo journal**, not a shadow copy: every mutator
+(:meth:`add_statement` / :meth:`remove_statement` / :meth:`update_rates` /
+:meth:`replace_logical` / :meth:`set_topology`) records inverse operations
+for exactly the entries it touches, so :meth:`checkpoint` is O(1) — it
+marks a journal position (plus a bounded snapshot of the LRU solution
+cache, see below) — :meth:`restore` replays O(delta) undo entries, and
+:meth:`release` (commit) truncates the journal.  The copying
+implementation survives as :meth:`snapshot` (returning the legacy
+:class:`EngineCheckpoint`), kept as the equivalence oracle: the
+transaction property tests run both side by side and assert the journal
+restores state byte-identical to the copies.
+
+The one piece *not* journaled is the component-solution cache.  Revision
+numbers are re-issued after a rollback, so a solution cached inside a
+failed transaction could later collide with an identical-looking
+signature from a different population — the cache must be restored
+*exactly*, including LRU order.  Since it is bounded by
+``options.cache_limit`` (default 512) independent of population size,
+each checkpoint snapshots it outright: O(cache_limit), not
+O(population).
+
+:meth:`MerlinCompiler.recompile` wraps every delta in one transaction, so
+a delta that fails *after* validation — an infeasible solve, a
+code-generation error — rolls the session back to its precise pre-delta
+state instead of invalidating it.
 """
 
 from __future__ import annotations
@@ -77,6 +93,7 @@ from ..core.provisioning import (
 from ..errors import ProvisioningError
 from ..topology.graph import Topology
 from ..units import Bandwidth
+from .journal import JournalMark, UndoJournal
 from .partition import PartitionSpec, partition_statements
 from .solve import (
     INFEASIBLE_COMPONENT,
@@ -96,14 +113,18 @@ Signature = Tuple[str, Tuple[Tuple[str, int], ...], Tuple[Optional[int], ...]]
 
 @dataclass(frozen=True)
 class EngineCheckpoint:
-    """A shadow snapshot of the engine's session state.
+    """A full shadow snapshot of the engine's session state (legacy).
 
-    Dict copies are shallow: every value (statements, logical topologies,
-    rates, footprints, cached solutions, incumbent floats) is immutable
-    once stored, so restoring the copies reinstates the exact state.  The
-    revision counter is captured too — a rolled-back engine assigns the
-    same revisions (and therefore the same cache signatures) to future
-    deltas as an engine that never saw the failed one.
+    This is the pre-journal copying implementation: O(population) to
+    capture, kept as :meth:`IncrementalProvisioner.snapshot` so the
+    transaction property tests can prove the undo journal restores state
+    byte-identical to the copies.  Dict copies are shallow: every value
+    (statements, logical topologies, rates, footprints, cached solutions,
+    incumbent floats) is immutable once stored, so restoring the copies
+    reinstates the exact state.  The revision counter is captured too — a
+    rolled-back engine assigns the same revisions (and therefore the same
+    cache signatures) to future deltas as an engine that never saw the
+    failed one.
     """
 
     statements: Dict[str, Statement]
@@ -116,6 +137,20 @@ class EngineCheckpoint:
     cache: Dict[Signature, object]
     last_values: Dict[str, float]
     topology: Topology
+
+
+@dataclass(frozen=True)
+class EngineMark:
+    """An O(1) transaction token: a journal position + cache snapshot.
+
+    ``mark`` names the undo-journal position to rewind to; ``cache`` is
+    the bounded (``cache_limit``-capped, population-independent) snapshot
+    of the component-solution cache, restored outright on rollback —
+    see the module docstring for why the cache cannot be journaled.
+    """
+
+    mark: JournalMark
+    cache: Dict[Signature, object]
 
 
 class IncrementalProvisioner:
@@ -179,6 +214,10 @@ class IncrementalProvisioner:
         self._cache: Dict[Signature, object] = {}
         self._last_values: Dict[str, float] = {}
 
+        #: The undo journal behind O(1) checkpoints; mutators record
+        #: inverse operations here whenever a transaction is open.
+        self._journal = UndoJournal()
+
         # --- the lazily-materialized live model --------------------------------
         self._live: Optional[ProvisioningModel] = None
         self._live_signature: Optional[Signature] = None
@@ -215,8 +254,68 @@ class IncrementalProvisioner:
 
     # -- transactions -------------------------------------------------------------
 
-    def checkpoint(self) -> EngineCheckpoint:
-        """Capture the session state for a later :meth:`restore`."""
+    def checkpoint(self) -> EngineMark:
+        """Open a transaction: O(1) journal mark + bounded cache snapshot.
+
+        Rolling back via :meth:`restore` replays only the undo entries the
+        transaction recorded (O(delta)); committing via :meth:`release`
+        truncates them.  Marks are stacked: rolling back to an earlier
+        mark invalidates later ones.
+        """
+        return EngineMark(mark=self._journal.mark(), cache=dict(self._cache))
+
+    def restore(self, saved) -> None:
+        """Reinstate a :meth:`checkpoint` (or legacy :meth:`snapshot`) exactly.
+
+        For an :class:`EngineMark` this replays the undo journal back to
+        the mark and reinstates the cache snapshot — O(changes since the
+        checkpoint), not O(population).  The legacy :class:`EngineCheckpoint`
+        path rebinds full dict copies; it invalidates every outstanding
+        journal mark (the journal's undo closures reference the replaced
+        dicts), so the two styles must not be interleaved within one
+        transaction.
+        """
+        if isinstance(saved, EngineCheckpoint):
+            self._statements = dict(saved.statements)
+            self._logical = dict(saved.logical)
+            self._logical_full = dict(saved.logical_full)
+            self._rates = dict(saved.rates)
+            self._footprints = dict(saved.footprints)
+            self._revisions = dict(saved.revisions)
+            self._next_revision = saved.next_revision
+            self._cache = dict(saved.cache)
+            self._last_values = dict(saved.last_values)
+            if saved.topology is not self.topology:
+                self.set_topology(saved.topology)
+            self._journal.invalidate_all()
+        else:
+            self._journal.rollback(saved.mark)
+            self._cache = dict(saved.cache)
+        # Drop the memoized live model: rollback rewinds the revision
+        # counter, so a post-rollback delta re-issues revision numbers and
+        # a model materialized *inside* the failed transaction could
+        # otherwise collide with the new population's signature.
+        self._live = None
+        self._live_signature = None
+
+    def release(self, saved) -> None:
+        """Commit a transaction opened by :meth:`checkpoint`.
+
+        Drops the journal mark and truncates undo entries no outstanding
+        mark can reach.  Legacy :class:`EngineCheckpoint` snapshots need no
+        release (discarding them is the commit); passing one is a no-op.
+        """
+        if isinstance(saved, EngineMark):
+            self._journal.release(saved.mark)
+
+    def snapshot(self) -> EngineCheckpoint:
+        """Capture a legacy full shadow copy of the session state.
+
+        O(population).  Superseded by :meth:`checkpoint` for transactions;
+        kept as the equivalence oracle for the journal property tests and
+        for callers that want a state capture surviving arbitrary later
+        rollbacks (copies are independent, journal marks are stacked).
+        """
         return EngineCheckpoint(
             statements=dict(self._statements),
             logical=dict(self._logical),
@@ -229,27 +328,6 @@ class IncrementalProvisioner:
             last_values=dict(self._last_values),
             topology=self.topology,
         )
-
-    def restore(self, saved: EngineCheckpoint) -> None:
-        """Reinstate a :meth:`checkpoint` exactly (the rollback half of a
-        transaction; committing is simply discarding the checkpoint)."""
-        self._statements = dict(saved.statements)
-        self._logical = dict(saved.logical)
-        self._logical_full = dict(saved.logical_full)
-        self._rates = dict(saved.rates)
-        self._footprints = dict(saved.footprints)
-        self._revisions = dict(saved.revisions)
-        self._next_revision = saved.next_revision
-        self._cache = dict(saved.cache)
-        self._last_values = dict(saved.last_values)
-        if saved.topology is not self.topology:
-            self.set_topology(saved.topology)
-        # Drop the memoized live model: rollback rewinds the revision
-        # counter, so a post-rollback delta re-issues revision numbers and
-        # a model materialized *inside* the failed transaction could
-        # otherwise collide with the new population's signature.
-        self._live = None
-        self._live_signature = None
 
     # -- delta operations ---------------------------------------------------------
 
@@ -302,26 +380,32 @@ class IncrementalProvisioner:
         if self.footprint_slack is not None:
             logical = prune_to_cost_bound(logical, self.footprint_slack)
 
-        self._statements[identifier] = statement
-        self._logical[identifier] = logical
-        self._logical_full[identifier] = full
-        self._footprints[identifier] = frozenset(logical.physical_links_used())
-        self._rates[identifier] = LocalRates(
-            identifier=identifier, guarantee=guarantee, cap=cap
+        journal = self._journal
+        journal.set_item(self._statements, identifier, statement)
+        journal.set_item(self._logical, identifier, logical)
+        journal.set_item(self._logical_full, identifier, full)
+        journal.set_item(
+            self._footprints, identifier, frozenset(logical.physical_links_used())
         )
-        self._revisions[identifier] = self._bump_revision()
+        journal.set_item(
+            self._rates,
+            identifier,
+            LocalRates(identifier=identifier, guarantee=guarantee, cap=cap),
+        )
+        journal.set_item(self._revisions, identifier, self._bump_revision())
 
     def remove_statement(self, identifier: str) -> None:
         """Forget a statement (bookkeeping only — no rows to splice out)."""
         if identifier not in self._statements:
             raise ProvisioningError(f"unknown statement {identifier!r}")
         self._prune_incumbents(identifier)
-        del self._statements[identifier]
-        del self._logical[identifier]
-        del self._logical_full[identifier]
-        del self._footprints[identifier]
-        del self._rates[identifier]
-        del self._revisions[identifier]
+        journal = self._journal
+        journal.del_item(self._statements, identifier)
+        journal.del_item(self._logical, identifier)
+        journal.del_item(self._logical_full, identifier)
+        journal.del_item(self._footprints, identifier)
+        journal.del_item(self._rates, identifier)
+        journal.del_item(self._revisions, identifier)
 
     def _prune_incumbents(self, identifier: str) -> None:
         """Drop a statement's incumbent values (on removal or reshaping).
@@ -337,7 +421,7 @@ class IncrementalProvisioner:
         variables beyond the base-tightened range.
         """
         for index in range(self._logical_full[identifier].num_edges()):
-            self._last_values.pop(f"x__{identifier}__{index}", None)
+            self._journal.del_item(self._last_values, f"x__{identifier}__{index}")
 
     def replace_logical(self, identifier: str, logical: LogicalTopology) -> None:
         """Swap a statement's (untightened) product graph for a new one.
@@ -357,15 +441,18 @@ class IncrementalProvisioner:
                 "its path expression"
             )
         self._prune_incumbents(identifier)
-        self._logical_full[identifier] = logical
+        journal = self._journal
+        journal.set_item(self._logical_full, identifier, logical)
         tightened = (
             logical
             if self.footprint_slack is None
             else prune_to_cost_bound(logical, self.footprint_slack)
         )
-        self._logical[identifier] = tightened
-        self._footprints[identifier] = frozenset(tightened.physical_links_used())
-        self._revisions[identifier] = self._bump_revision()
+        journal.set_item(self._logical, identifier, tightened)
+        journal.set_item(
+            self._footprints, identifier, frozenset(tightened.physical_links_used())
+        )
+        journal.set_item(self._revisions, identifier, self._bump_revision())
 
     def set_topology(self, topology: Topology) -> None:
         """Point the engine at a new (e.g. degraded) physical topology.
@@ -374,8 +461,10 @@ class IncrementalProvisioner:
         directly; per-statement logical topologies must be re-supplied by
         the caller via :meth:`replace_logical` where they changed.
         """
-        self.topology = topology
-        self._capacity_mbps = topology_capacities_mbps(topology)
+        self._journal.set_attr(self, "topology", topology)
+        self._journal.set_attr(
+            self, "_capacity_mbps", topology_capacities_mbps(topology)
+        )
         self._live = None
         self._live_signature = None
 
@@ -394,19 +483,21 @@ class IncrementalProvisioner:
                 "it instead to make it best-effort"
             )
         previous = self._rates[identifier].guarantee
-        self._rates[identifier] = LocalRates(
-            identifier=identifier, guarantee=guarantee, cap=cap
+        self._journal.set_item(
+            self._rates,
+            identifier,
+            LocalRates(identifier=identifier, guarantee=guarantee, cap=cap),
         )
         if previous is not None and previous.bps_value == guarantee.bps_value:
             # Cap-only change: the cap never enters the provisioning MIP, so
             # the statement's partition stays clean (its cached solution and
             # the memoized live model remain valid).
             return
-        self._revisions[identifier] = self._bump_revision()
+        self._journal.set_item(self._revisions, identifier, self._bump_revision())
 
     def _bump_revision(self) -> int:
         revision = self._next_revision
-        self._next_revision += 1
+        self._journal.set_attr(self, "_next_revision", revision + 1)
         return revision
 
     # -- solving -------------------------------------------------------------------
@@ -453,8 +544,10 @@ class IncrementalProvisioner:
             slacks = solution.member_slacks or tuple(
                 self.footprint_slack for _ in ids
             )
+            # Cache inserts are deliberately unjournaled: the transaction
+            # token carries a full (bounded) cache snapshot instead.
             self._cache[self._signature_for(ids, slacks)] = solution
-            self._last_values.update(solution.values_by_name)
+            self._journal.update_items(self._last_values, solution.values_by_name)
             adopted += 1
         for ids, slacks in infeasible:
             if any(sid not in self._revisions for sid in ids):
@@ -548,7 +641,7 @@ class IncrementalProvisioner:
         while len(self._cache) > self._cache_limit:
             self._cache.pop(next(iter(self._cache)))
         for solution in outcome.fresh:
-            self._last_values.update(solution.values_by_name)
+            self._journal.update_items(self._last_values, solution.values_by_name)
         return result
 
     # -- the live model as a (lazily built) solvable artifact ------------------------

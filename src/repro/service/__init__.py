@@ -1,0 +1,28 @@
+"""Provisioning-as-a-service: the asyncio control plane over live sessions.
+
+Layout:
+
+* :mod:`repro.service.daemon` — :class:`ControlPlane`, the per-group
+  worker loop, and delta batching into single recompile transactions,
+* :mod:`repro.service.admission` — per-tenant outstanding/rate limits,
+* :mod:`repro.service.state` — frozen committed-state snapshots for the
+  query API.
+
+See ``README.md`` in this directory for a quickstart.
+"""
+
+from .admission import AdmissionError, AdmissionPolicy, TenantGate
+from .daemon import ControlPlane, Ticket
+from .state import BatchRecord, GroupState, StatementState, TenantStats
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
+    "TenantGate",
+    "ControlPlane",
+    "Ticket",
+    "BatchRecord",
+    "GroupState",
+    "StatementState",
+    "TenantStats",
+]

@@ -1,0 +1,104 @@
+"""Per-tenant admission control for the provisioning control plane.
+
+A multi-tenant daemon cannot let one chatty tenant monopolize the shared
+recompile pipeline: every queued delta holds an undo-journal transaction
+slot and delays every other tenant's batch.  :class:`AdmissionPolicy`
+bounds each tenant two ways — a ceiling on *outstanding* deltas (submitted
+but not yet committed or failed) and a token-bucket rate cap on submission
+frequency — and :class:`TenantGate` is the mutable per-tenant state
+enforcing it.  Rejection happens in ``ControlPlane.submit`` *before* the
+delta enters the intake queue, so an over-limit tenant can never disturb
+committed state or other tenants' in-flight batches.
+
+The gate takes an injectable monotonic clock so rate-cap behavior is
+deterministic under test (and under replay).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import MerlinError
+
+__all__ = ["AdmissionError", "AdmissionPolicy", "TenantGate"]
+
+
+class AdmissionError(MerlinError):
+    """A tenant's submission was refused before entering the intake queue."""
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Limits applied to each tenant of a group independently.
+
+    ``max_outstanding`` — how many of the tenant's deltas may be queued or
+    in flight at once (``None`` = unlimited).  ``rate_per_second`` — a
+    token-bucket refill rate capping sustained submission frequency
+    (``None`` = uncapped), with ``burst`` tokens of headroom for
+    back-to-back submissions.
+    """
+
+    max_outstanding: Optional[int] = None
+    rate_per_second: Optional[float] = None
+    burst: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_outstanding is not None and self.max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1 (or None)")
+        if self.rate_per_second is not None and self.rate_per_second <= 0:
+            raise ValueError("rate_per_second must be > 0 (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class TenantGate:
+    """Mutable admission state for one tenant under one policy.
+
+    ``admit`` either raises :class:`AdmissionError` (leaving the gate
+    unchanged except for the token-bucket refill) or records one more
+    outstanding delta; ``settle`` retires one when its batch commits or
+    fails.
+    """
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._policy = policy
+        self._clock = clock
+        self._tokens = float(policy.burst)
+        self._refilled_at = clock()
+        self.outstanding = 0
+
+    def admit(self, tenant: str) -> None:
+        policy = self._policy
+        if (
+            policy.max_outstanding is not None
+            and self.outstanding >= policy.max_outstanding
+        ):
+            raise AdmissionError(
+                f"tenant {tenant!r} already has {self.outstanding} outstanding "
+                f"delta(s) (limit {policy.max_outstanding}); await or discard "
+                "a ticket before submitting more"
+            )
+        if policy.rate_per_second is not None:
+            now = self._clock()
+            elapsed = max(0.0, now - self._refilled_at)
+            self._refilled_at = now
+            self._tokens = min(
+                float(policy.burst),
+                self._tokens + elapsed * policy.rate_per_second,
+            )
+            if self._tokens < 1.0:
+                raise AdmissionError(
+                    f"tenant {tenant!r} exceeded the submission rate cap of "
+                    f"{policy.rate_per_second}/s (burst {policy.burst})"
+                )
+            self._tokens -= 1.0
+        self.outstanding += 1
+
+    def settle(self) -> None:
+        self.outstanding = max(0, self.outstanding - 1)

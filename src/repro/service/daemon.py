@@ -1,0 +1,385 @@
+"""The provisioning control plane: long-lived sessions behind async intake.
+
+The paper's compiler is a batch tool; a provider runs it as a *service* —
+one live incremental session per tenant group, absorbing a stream of
+policy/topology deltas from many tenants at once.  :class:`ControlPlane`
+is that daemon:
+
+* ``open_group`` compiles a group's base policy (off the event loop, via
+  ``asyncio.to_thread``) and keeps the resulting
+  :class:`~repro.core.session.ProvisioningSession` live;
+* ``submit`` runs per-tenant admission control (see
+  :mod:`repro.service.admission`) and enqueues the delta, returning a
+  :class:`Ticket` whose ``result()`` resolves to the batch's
+  :class:`~repro.core.allocation.CompilationResult`;
+* one worker task per group drains its queue and *batches*: deltas that
+  arrived while the previous transaction was solving are merged — when
+  their touched statement sets are disjoint
+  (:func:`~repro.incremental.delta.merge_policy_deltas`) — into a single
+  recompile transaction: one undo-journal checkpoint, one partitioned
+  solve, one commit.  A merged transaction that fails rolls back (the
+  journal restores pre-batch state exactly) and the members are retried
+  individually, so one tenant's infeasible ask cannot sink its
+  batch-mates;
+* ``query`` / ``statement_state`` return frozen committed-state snapshots
+  (per-statement paths and rates, revision, last batch's solver
+  statistics) without touching the live session.
+
+Deltas for *different* groups run concurrently (one worker each); deltas
+for one group serialize through its queue, which is what makes batching
+safe.  The control plane must be used from within a single running event
+loop — ``async with ControlPlane() as plane: ...`` is the intended shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.compiler import MerlinCompiler
+from ..errors import ProvisioningError
+from ..incremental.delta import PolicyDelta, merge_policy_deltas
+from .admission import AdmissionPolicy, TenantGate
+from .state import BatchRecord, GroupState, StatementState, TenantStats, statement_states
+
+__all__ = ["ControlPlane", "Ticket"]
+
+#: Queue sentinel: the worker processes everything ahead of it, then exits.
+_SHUTDOWN = object()
+
+
+class Ticket:
+    """A pending submission; ``await ticket.result()`` for the outcome.
+
+    The result is the full :class:`CompilationResult` of the transaction
+    that committed the delta (possibly a merged batch containing other
+    tenants' deltas too).  A failed delta raises the transaction's error
+    here; the group's committed state is untouched by the failure.
+    """
+
+    __slots__ = ("group", "tenant", "delta", "_future")
+
+    def __init__(
+        self, group: str, tenant: str, delta: object, future: "asyncio.Future"
+    ) -> None:
+        self.group = group
+        self.tenant = tenant
+        self.delta = delta
+        self._future = future
+
+    async def result(self):
+        return await self._future
+
+    def done(self) -> bool:
+        return self._future.done()
+
+
+class _Group:
+    """Mutable per-group state, owned by the control plane's event loop."""
+
+    def __init__(
+        self,
+        name: str,
+        compiler: MerlinCompiler,
+        admission: AdmissionPolicy,
+        base_result,
+    ) -> None:
+        self.name = name
+        self.compiler = compiler
+        self.handle = compiler.session()
+        self.admission = admission
+        self.revision = 0
+        self.statements: Dict[str, StatementState] = statement_states(base_result)
+        self.last_batch: Optional[BatchRecord] = None
+        self.queue: "asyncio.Queue" = asyncio.Queue()
+        self.gates: Dict[str, TenantGate] = {}
+        self.counters: Dict[str, Dict[str, int]] = {}
+        self.worker: Optional["asyncio.Task"] = None
+
+    def tenant_counters(self, tenant: str) -> Dict[str, int]:
+        return self.counters.setdefault(
+            tenant, {"submitted": 0, "committed": 0, "rejected": 0, "failed": 0}
+        )
+
+
+class ControlPlane:
+    """One daemon, many tenant groups, one live session per group.
+
+    ``admission`` is the default :class:`AdmissionPolicy` for every group
+    (overridable per group at ``open_group``); ``clock`` feeds the
+    admission token buckets and exists to be replaced in tests;
+    ``max_batch`` caps how many queued deltas one transaction may absorb.
+    """
+
+    def __init__(
+        self,
+        *,
+        admission: Optional[AdmissionPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        max_batch: int = 16,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._admission = admission if admission is not None else AdmissionPolicy()
+        self._clock = clock
+        self._max_batch = max_batch
+        self._groups: Dict[str, _Group] = {}
+        self._started = False
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "ControlPlane":
+        self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    def start(self) -> None:
+        """Start (or resume) one worker task per open group.
+
+        Deltas may be submitted before ``start()``; they queue up and are
+        drained — batched — once the workers run.
+        """
+        self._started = True
+        self._closing = False
+        for group in self._groups.values():
+            if group.worker is None:
+                group.worker = asyncio.ensure_future(self._worker(group))
+
+    async def shutdown(self) -> None:
+        """Process every queued delta, then stop all workers."""
+        self._closing = True
+        workers = []
+        for group in self._groups.values():
+            if group.worker is not None:
+                group.queue.put_nowait(_SHUTDOWN)
+                workers.append(group)
+        for group in workers:
+            await group.worker
+            group.worker = None
+        self._started = False
+
+    async def open_group(
+        self,
+        name: str,
+        policy,
+        *,
+        compiler: Optional[MerlinCompiler] = None,
+        topology=None,
+        placements=None,
+        options=None,
+        admission: Optional[AdmissionPolicy] = None,
+        **compiler_kwargs,
+    ) -> GroupState:
+        """Compile a group's base policy and open its live session.
+
+        Pass a ready ``compiler``, or a ``topology`` (plus optional
+        ``placements`` / ``options`` / further :class:`MerlinCompiler`
+        keywords) to build one.  The compile runs in a thread so the event
+        loop — and the other groups' intake — stays responsive.
+        """
+        if name in self._groups:
+            raise ProvisioningError(f"group {name!r} is already open")
+        if compiler is None:
+            if topology is None:
+                raise ProvisioningError(
+                    "open_group needs either a compiler or a topology"
+                )
+            compiler = MerlinCompiler(
+                topology=topology,
+                placements=placements or {},
+                options=options,
+                **compiler_kwargs,
+            )
+        result = await asyncio.to_thread(compiler.compile, policy)
+        group = _Group(
+            name,
+            compiler,
+            admission if admission is not None else self._admission,
+            result,
+        )
+        self._groups[name] = group
+        if self._started:
+            group.worker = asyncio.ensure_future(self._worker(group))
+        return self.query(name)
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def submit(self, name: str, delta, *, tenant: str = "default") -> Ticket:
+        """Admit one tenant delta into a group's intake queue.
+
+        Raises :class:`~repro.service.admission.AdmissionError` when the
+        tenant is over its outstanding or rate limit — before the delta
+        touches the queue, so committed state and other tenants are
+        undisturbed.  ``delta`` is anything ``ProvisioningSession.apply``
+        accepts: a :class:`PolicyDelta`, a ``TopologyDelta``, or an object
+        with ``to_delta()`` (scenario events).
+        """
+        if self._closing:
+            raise ProvisioningError("the control plane is shutting down")
+        group = self._group(name)
+        counters = group.tenant_counters(tenant)
+        counters["submitted"] += 1
+        gate = group.gates.get(tenant)
+        if gate is None:
+            gate = group.gates[tenant] = TenantGate(
+                group.admission, clock=self._clock
+            )
+        try:
+            gate.admit(tenant)
+        except Exception:
+            counters["rejected"] += 1
+            raise
+        future = asyncio.get_running_loop().create_future()
+        ticket = Ticket(name, tenant, delta, future)
+        group.queue.put_nowait(ticket)
+        return ticket
+
+    # ------------------------------------------------------------------
+    # query surface
+    # ------------------------------------------------------------------
+    def groups(self) -> Tuple[str, ...]:
+        return tuple(self._groups)
+
+    def query(self, name: str) -> GroupState:
+        """A frozen snapshot of a group's last *committed* state."""
+        group = self._group(name)
+        return GroupState(
+            group=name,
+            revision=group.revision,
+            statements=dict(group.statements),
+            failed_links=group.handle.failed_links,
+            failed_nodes=group.handle.failed_nodes,
+            last_batch=group.last_batch,
+            tenants={
+                tenant: TenantStats(tenant=tenant, **counts)
+                for tenant, counts in group.counters.items()
+            },
+        )
+
+    def statement_state(self, name: str, identifier: str) -> StatementState:
+        group = self._group(name)
+        try:
+            return group.statements[identifier]
+        except KeyError:
+            raise ProvisioningError(
+                f"group {name!r} has no committed statement {identifier!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # the per-group worker
+    # ------------------------------------------------------------------
+    async def _worker(self, group: _Group) -> None:
+        while True:
+            first = await group.queue.get()
+            batch = [first]
+            while len(batch) < self._max_batch:
+                try:
+                    batch.append(group.queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            stop = _SHUTDOWN in batch
+            tickets = [item for item in batch if item is not _SHUTDOWN]
+            for run in self._plan_runs(tickets):
+                await self._execute(group, run)
+            if stop:
+                return
+
+    def _plan_runs(self, tickets: List[Ticket]) -> List[List[Ticket]]:
+        """Split a drained batch into mergeable runs, preserving order.
+
+        Consecutive :class:`PolicyDelta` submissions with pairwise-disjoint
+        touched statements form one run (one merged transaction); a delta
+        overlapping its run, a topology delta, or a ``to_delta`` event
+        closes the run and executes alone.
+        """
+        runs: List[List[Ticket]] = []
+        current: List[Ticket] = []
+        touched: set = set()
+        for ticket in tickets:
+            delta = ticket.delta
+            if isinstance(delta, PolicyDelta):
+                mine = delta.touched_identifiers()
+                if current and not (touched & mine):
+                    current.append(ticket)
+                    touched |= mine
+                    continue
+                if current:
+                    runs.append(current)
+                current = [ticket]
+                touched = set(mine)
+            else:
+                if current:
+                    runs.append(current)
+                    current = []
+                    touched = set()
+                runs.append([ticket])
+        if current:
+            runs.append(current)
+        return runs
+
+    async def _execute(self, group: _Group, run: List[Ticket]) -> None:
+        if len(run) == 1:
+            ticket = run[0]
+            try:
+                result = await asyncio.to_thread(group.handle.apply, ticket.delta)
+            except Exception as exc:
+                self._fail(group, ticket, exc)
+            else:
+                self._commit(group, run, result, merged=False)
+            return
+        merged = merge_policy_deltas([ticket.delta for ticket in run])
+        try:
+            result = await asyncio.to_thread(group.handle.apply, merged)
+        except Exception:
+            # The merged transaction rolled back to pre-batch state; retry
+            # each member alone so only the actual offender fails.
+            for ticket in run:
+                await self._execute(group, [ticket])
+        else:
+            self._commit(group, run, result, merged=True)
+
+    def _commit(
+        self, group: _Group, run: List[Ticket], result, merged: bool
+    ) -> None:
+        group.revision += 1
+        group.statements = statement_states(result)
+        group.last_batch = BatchRecord(
+            revision=group.revision,
+            tenants=tuple(ticket.tenant for ticket in run),
+            num_deltas=len(run),
+            num_changes=sum(
+                ticket.delta.num_changes()
+                for ticket in run
+                if hasattr(ticket.delta, "num_changes")
+            ),
+            merged=merged,
+            statistics=result.statistics,
+        )
+        for ticket in run:
+            group.tenant_counters(ticket.tenant)["committed"] += 1
+            self._settle(group, ticket)
+            if not ticket._future.done():
+                ticket._future.set_result(result)
+
+    def _fail(self, group: _Group, ticket: Ticket, exc: BaseException) -> None:
+        group.tenant_counters(ticket.tenant)["failed"] += 1
+        self._settle(group, ticket)
+        if not ticket._future.done():
+            ticket._future.set_exception(exc)
+
+    def _settle(self, group: _Group, ticket: Ticket) -> None:
+        gate = group.gates.get(ticket.tenant)
+        if gate is not None:
+            gate.settle()
+
+    def _group(self, name: str) -> _Group:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise ProvisioningError(f"no open group named {name!r}") from None

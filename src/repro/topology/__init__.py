@@ -14,6 +14,7 @@ from .generators import (
     balanced_tree,
     dumbbell,
     fat_tree,
+    figure2_example,
     linear,
     single_switch,
     stanford_campus,
@@ -32,6 +33,7 @@ __all__ = [
     "balanced_tree",
     "dumbbell",
     "fat_tree",
+    "figure2_example",
     "linear",
     "single_switch",
     "stanford_campus",

@@ -1,0 +1,319 @@
+"""Tests for the control-plane daemon: batching, admission, isolation.
+
+pytest-asyncio is not a dependency; each test drives the daemon with a
+plain ``asyncio.run`` around an async body.  Batching is made
+deterministic by submitting deltas *before* ``start()``: the worker's
+first drain then sees the whole queue at once, exactly as it would when
+deltas pile up behind a slow solve.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.ast import Statement
+from repro.errors import MerlinError, ProvisioningError
+from repro.incremental import (
+    DeltaStatement,
+    PolicyDelta,
+    RateUpdate,
+    TopologyDelta,
+    merge_policy_deltas,
+)
+from repro.predicates.ast import FieldTest, pred_and
+from repro.regex.parser import parse_path_expression
+from repro.service import AdmissionError, AdmissionPolicy, ControlPlane
+from repro.topology.generators import dumbbell, figure2_example
+from repro.units import Bandwidth
+
+SOURCE = """
+[ x : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 20) -> .* dpi .* ;
+  z : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 80) -> .* dpi .* ],
+min(x, 25MB/s) and min(z, 50MB/s)
+"""
+PLACEMENTS = {"dpi": ("h1", "h2", "m1"), "nat": ("m1",)}
+
+DUMBBELL_SOURCE = """
+[ x : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02) -> .* ],
+min(x, 10MB/s)
+"""
+
+
+def _pair_predicate(port):
+    return pred_and(
+        FieldTest("eth.src", "00:00:00:00:00:01"),
+        pred_and(
+            FieldTest("eth.dst", "00:00:00:00:00:02"), FieldTest("tcp.dst", port)
+        ),
+    )
+
+
+def _add(identifier, port, guarantee=Bandwidth.mb_per_sec(5)):
+    statement = Statement(
+        identifier, _pair_predicate(port), parse_path_expression(".* dpi .*")
+    )
+    return PolicyDelta(add=(DeltaStatement(statement, guarantee=guarantee),))
+
+
+async def _open(plane, name="g", **kwargs):
+    return await plane.open_group(
+        name,
+        SOURCE,
+        topology=figure2_example(capacity=Bandwidth.gbps(2)),
+        placements=PLACEMENTS,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+        **kwargs,
+    )
+
+
+class TestMergePolicyDeltas:
+    def test_concatenates_disjoint_deltas(self):
+        merged = merge_policy_deltas(
+            [
+                _add("w", 443),
+                PolicyDelta(remove=("z",)),
+                PolicyDelta(
+                    update_rates=(
+                        RateUpdate("x", guarantee=Bandwidth.mb_per_sec(30)),
+                    )
+                ),
+            ]
+        )
+        assert [entry.statement.identifier for entry in merged.add] == ["w"]
+        assert merged.remove == ("z",)
+        assert merged.update_rates[0].identifier == "x"
+        assert merged.touched_identifiers() == frozenset({"w", "x", "z"})
+
+    def test_rejects_overlapping_deltas(self):
+        with pytest.raises(ValueError, match="w"):
+            merge_policy_deltas(
+                [
+                    _add("w", 443),
+                    PolicyDelta(
+                        update_rates=(
+                            RateUpdate("w", guarantee=Bandwidth.mb_per_sec(9)),
+                        )
+                    ),
+                ]
+            )
+
+
+class TestControlPlane:
+    def test_open_group_snapshot(self):
+        async def run():
+            plane = ControlPlane()
+            return await _open(plane)
+
+        state = asyncio.run(run())
+        assert state.group == "g"
+        assert state.revision == 0
+        assert set(state.statements) == {"x", "z"}
+        assert state.statements["x"].is_guaranteed
+        assert state.statements["x"].guarantee_bps == Bandwidth.mb_per_sec(25).bps_value
+        assert state.statements["x"].path[0] == "h1"
+        assert state.statements["x"].path[-1] == "h2"
+        assert state.failed_links == frozenset()
+        assert state.last_batch is None
+
+    def test_batches_concurrent_deltas_into_one_recompile(self):
+        async def run():
+            plane = ControlPlane()
+            await _open(plane)
+            first = plane.submit("g", _add("w", 443), tenant="alice")
+            second = plane.submit("g", _add("v", 8080), tenant="bob")
+            plane.start()
+            results = (await first.result(), await second.result())
+            await plane.shutdown()
+            return plane.query("g"), results
+
+        state, (first_result, second_result) = asyncio.run(run())
+        # One transaction served both tenants: the very same result object.
+        assert first_result is second_result
+        batch = state.last_batch
+        assert batch.merged is True
+        assert batch.num_deltas == 2
+        assert batch.tenants == ("alice", "bob")
+        assert state.revision == 1
+        assert {"w", "v"} <= set(state.statements)
+        # The single solve's statistics cover the whole merged population.
+        assert batch.statistics.num_statements == 4
+        assert state.tenants["alice"].committed == 1
+        assert state.tenants["bob"].committed == 1
+
+    def test_overlapping_deltas_run_as_separate_transactions(self):
+        async def run():
+            plane = ControlPlane()
+            await _open(plane)
+            first = plane.submit("g", _add("w", 443))
+            second = plane.submit(
+                "g",
+                PolicyDelta(
+                    update_rates=(
+                        RateUpdate("w", guarantee=Bandwidth.mb_per_sec(7)),
+                    )
+                ),
+            )
+            plane.start()
+            await first.result()
+            await second.result()
+            await plane.shutdown()
+            return plane.query("g")
+
+        state = asyncio.run(run())
+        assert state.revision == 2
+        assert state.last_batch.merged is False
+        assert state.last_batch.num_deltas == 1
+        assert (
+            state.statements["w"].guarantee_bps
+            == Bandwidth.mb_per_sec(7).bps_value
+        )
+
+    def test_admission_outstanding_limit(self):
+        async def run():
+            plane = ControlPlane(admission=AdmissionPolicy(max_outstanding=1))
+            await _open(plane)
+            before = plane.query("g")
+            first = plane.submit("g", _add("w", 443), tenant="alice")
+            with pytest.raises(AdmissionError):
+                plane.submit("g", _add("v", 8080), tenant="alice")
+            # Another tenant is unaffected by alice's limit.
+            second = plane.submit("g", _add("v", 8080), tenant="bob")
+            rejected_view = plane.query("g")
+            plane.start()
+            await first.result()
+            await second.result()
+            # The commit settled alice's outstanding slot: admitted again.
+            third = plane.submit("g", PolicyDelta(remove=("w",)), tenant="alice")
+            await third.result()
+            await plane.shutdown()
+            return before, rejected_view, plane.query("g")
+
+        before, rejected_view, after = asyncio.run(run())
+        # The rejection never touched committed state.
+        assert rejected_view.revision == before.revision == 0
+        assert set(rejected_view.statements) == set(before.statements)
+        assert after.tenants["alice"].submitted == 3
+        assert after.tenants["alice"].rejected == 1
+        assert after.tenants["alice"].committed == 2
+        assert "w" not in after.statements
+
+    def test_admission_rate_cap_with_injected_clock(self):
+        clock = {"now": 0.0}
+
+        async def run():
+            plane = ControlPlane(
+                admission=AdmissionPolicy(rate_per_second=1.0, burst=1),
+                clock=lambda: clock["now"],
+            )
+            await _open(plane)
+            first = plane.submit("g", _add("w", 443), tenant="alice")
+            with pytest.raises(AdmissionError):
+                plane.submit("g", _add("v", 8080), tenant="alice")
+            clock["now"] = 1.5  # the bucket refills one token
+            second = plane.submit("g", _add("v", 8080), tenant="alice")
+            plane.start()
+            await first.result()
+            await second.result()
+            await plane.shutdown()
+            return plane.query("g")
+
+        state = asyncio.run(run())
+        assert state.tenants["alice"].rejected == 1
+        assert state.tenants["alice"].committed == 2
+        assert {"w", "v"} <= set(state.statements)
+
+    def test_merged_failure_retries_members_individually(self):
+        async def run():
+            plane = ControlPlane()
+            await _open(plane)
+            good = plane.submit("g", _add("w", 443), tenant="alice")
+            doomed = plane.submit(
+                "g",
+                _add("v", 8080, guarantee=Bandwidth.gbps(50)),
+                tenant="mallory",
+            )
+            plane.start()
+            result = await good.result()
+            with pytest.raises(MerlinError):
+                await doomed.result()
+            await plane.shutdown()
+            return plane.query("g"), result
+
+        state, result = asyncio.run(run())
+        # Only the offender failed; its batch-mate committed normally.
+        assert "w" in state.statements
+        assert "v" not in state.statements
+        assert "v" not in result.rates
+        assert state.revision == 1
+        assert state.last_batch.merged is False
+        assert state.tenants["alice"].committed == 1
+        assert state.tenants["mallory"].failed == 1
+
+    def test_topology_delta_reroutes_and_recovers(self):
+        async def run():
+            plane = ControlPlane()
+            await plane.open_group(
+                "g",
+                DUMBBELL_SOURCE,
+                topology=dumbbell(),
+                overlap="trust",
+                add_catch_all=False,
+                generate_code=False,
+            )
+            base = plane.query("g")
+            async with plane:
+                fail = plane.submit(
+                    "g", TopologyDelta(fail_links=(("sa1", "sa2"),))
+                )
+                await fail.result()
+                rerouted = plane.query("g")
+                recover = plane.submit(
+                    "g", TopologyDelta(recover_links=(("sa1", "sa2"),))
+                )
+                await recover.result()
+            return base, rerouted, plane.query("g")
+
+        base, rerouted, recovered = asyncio.run(run())
+        assert base.statements["x"].path == ("h1", "sa1", "sa2", "h2")
+        assert rerouted.failed_links == frozenset({("sa1", "sa2")})
+        assert rerouted.statements["x"].path == ("h1", "sb1", "h2")
+        assert recovered.failed_links == frozenset()
+        assert recovered.statements["x"].path == base.statements["x"].path
+
+    def test_groups_are_independent(self):
+        async def run():
+            plane = ControlPlane()
+            await _open(plane, name="g1")
+            await _open(plane, name="g2")
+            async with plane:
+                ticket = plane.submit("g1", _add("w", 443), tenant="alice")
+                await ticket.result()
+            return plane
+
+        plane = asyncio.run(run())
+        assert plane.groups() == ("g1", "g2")
+        assert plane.query("g1").revision == 1
+        assert plane.query("g2").revision == 0
+        assert "w" in plane.query("g1").statements
+        assert "w" not in plane.query("g2").statements
+        assert plane.statement_state("g1", "w").is_guaranteed
+
+    def test_unknown_group_and_statement_rejected(self):
+        async def run():
+            plane = ControlPlane()
+            await _open(plane)
+            with pytest.raises(ProvisioningError):
+                plane.submit("nope", _add("w", 443))
+            with pytest.raises(ProvisioningError):
+                plane.statement_state("g", "nope")
+            with pytest.raises(ProvisioningError):
+                await _open(plane)  # duplicate group name
+
+        asyncio.run(run())
