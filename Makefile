@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test check bench bench-smoke bench-reprovision bench-churn bench-checkpoint
+.PHONY: test check bench bench-smoke bench-reprovision bench-churn bench-checkpoint bench-portfolio
 
 # Tier-1 verification: the full unit + benchmark suite at quick scale.
 test:
@@ -15,6 +15,7 @@ check:
 	$(PYTEST) -x -q
 	python -m compileall -q src
 	$(PYTEST) -q benchmarks/test_churn.py benchmarks/test_checkpoint_scale.py
+	$(PYTEST) -q benchmarks/test_ablation_design_choices.py -k "portfolio"
 
 # The full benchmark suite (set MERLIN_BENCH_SCALE=full for paper scale).
 bench:
@@ -29,7 +30,8 @@ bench-smoke:
 		benchmarks/test_fig10b_reprovisioning.py::test_reprovision_smoke \
 		benchmarks/test_fig10b_reprovisioning.py::test_footprint_partitioning_smoke \
 		benchmarks/test_churn.py \
-		benchmarks/test_checkpoint_scale.py
+		benchmarks/test_checkpoint_scale.py \
+		benchmarks/test_ablation_design_choices.py::test_ablation_portfolio
 
 # Figure 10b': incremental re-provisioning latency vs full recompiles
 # (writes benchmarks/results/fig10b_reprovisioning.txt).
@@ -43,6 +45,13 @@ bench-reprovision:
 # MERLIN_BENCH_SCALE=full runs the 500-event arity-6 stream.
 bench-churn:
 	$(PYTEST) -q benchmarks/test_churn.py
+
+# Solver-portfolio ablation: every registered backend name on the smoke
+# fat-tree workload (auto must stay within 1.25x of the best fixed
+# backend) plus the anytime demo — the primal heuristic's simulator-
+# verified allocation in <100 ms where the exact solve takes >1 s.
+bench-portfolio:
+	$(PYTEST) -q benchmarks/test_ablation_design_choices.py -k "portfolio"
 
 # Checkpoint cost at scale: undo-journal marks vs legacy copying
 # snapshots at 1k vs 100k statements, plus a join/leave/renegotiation

@@ -93,7 +93,11 @@ class CompilationStatistics:
     "untightened"; ``None`` means tightening never ran, e.g. a recompile
     with no guaranteed statements).  ``component_solve_seconds`` holds each
     final component's solver wall-time, in the provisioning result's
-    component order, for per-component latency percentiles.
+    component order, for per-component latency percentiles;
+    ``component_backends`` names the backend that solved each component in
+    the same order (the ``auto`` portfolio driver records its per-component
+    winner, so a mixed tuple is normal), with a single entry for monolithic
+    solves.
     """
 
     lp_construction_seconds: float = 0.0
@@ -114,6 +118,7 @@ class CompilationStatistics:
     slack_retries: int = 0
     footprint_slack_used: Optional[float] = None
     component_solve_seconds: Tuple[float, ...] = ()
+    component_backends: Tuple[str, ...] = ()
 
     def record_provisioning(self, provisioning) -> None:
         """Copy solver diagnostics from a ``ProvisioningResult``."""
@@ -135,6 +140,14 @@ class CompilationStatistics:
             solution.solve_seconds
             for solution in provisioning.partition_solutions
         )
+        if provisioning.partition_solutions:
+            self.component_backends = tuple(
+                str(solution.statistics.get("backend", ""))
+                for solution in provisioning.partition_solutions
+            )
+        elif "backend" in statistics:
+            # Monolithic solve: one model, one backend.
+            self.component_backends = (str(statistics["backend"]),)
 
     def as_row(self) -> Dict[str, object]:
         """The statistics as a flat dictionary (used by benchmark reporting)."""
@@ -159,6 +172,7 @@ class CompilationStatistics:
                 if self.footprint_slack_used is not None
                 else ""
             ),
+            "backends": ",".join(sorted(set(self.component_backends))),
         }
 
 

@@ -216,7 +216,7 @@ class MerlinCompiler:
             footprint_slack=self.footprint_slack,
         )
         self.options = resolved
-        self.solver = resolved.resolved_solver()
+        self.solver = resolved.backend()
         self.max_solver_workers = resolved.max_workers
         self.footprint_slack = resolved.footprint_slack
 

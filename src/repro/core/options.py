@@ -67,12 +67,12 @@ def widen_slack(slack: Optional[int]) -> Optional[int]:
 class ProvisionOptions:
     """How guaranteed traffic is provisioned, independent of what is provisioned.
 
-    ``solver`` — an explicit LP/MIP backend instance, or ``None`` to let
-    :meth:`resolved_solver` pick one: a
-    :class:`~repro.lp.branch_and_bound.BranchAndBoundSolver` when
-    ``node_limit`` is set, a time-limited
-    :class:`~repro.lp.scipy_backend.ScipySolver` when only
-    ``time_limit_seconds`` is set, and the default backend otherwise.
+    ``solver`` — which LP/MIP backend solves the provisioning models: a
+    registered backend name (``"scipy"``, ``"bnb"``, ``"highs"``,
+    ``"heuristic"``, ``"auto"`` — see :mod:`repro.lp.backends`), an explicit
+    backend instance, or ``None`` to let :meth:`backend` pick the default
+    for the configured limits (``"bnb"`` when ``node_limit`` is set —
+    scipy cannot bound its search — else ``"scipy"``).
 
     ``partition`` / ``max_workers`` — whether the MIP is decomposed into
     link-disjoint components, and the process-pool width used to solve
@@ -105,23 +105,48 @@ class ProvisionOptions:
             raise ValueError(
                 f"warm_start must be 'auto' or 'off', got {self.warm_start!r}"
             )
+        if isinstance(self.solver, str):
+            from ..lp.backends import registered_backends
+
+            if self.solver not in registered_backends():
+                raise ValueError(
+                    f"unknown solver backend {self.solver!r}; registered "
+                    f"backends: {', '.join(registered_backends())}"
+                )
+
+    def backend(self) -> object:
+        """The backend instance to hand to ``Model.solve``.
+
+        Resolution lives in :func:`repro.lp.backends.resolve_backend`:
+        names are instantiated with this options value's
+        ``time_limit_seconds`` / ``node_limit``, explicit instances are
+        returned by identity (their own configured limits win), and
+        ``None`` selects the default backend for the limits.
+        """
+        from ..lp.backends import resolve_backend
+
+        return resolve_backend(
+            self.solver,
+            time_limit_seconds=self.time_limit_seconds,
+            node_limit=self.node_limit,
+        )
 
     def resolved_solver(self) -> Optional[object]:
-        """The backend to hand to ``Model.solve`` (``None`` = default)."""
-        if self.solver is not None:
-            return self.solver
-        if self.node_limit is not None:
-            from ..lp.branch_and_bound import BranchAndBoundSolver
+        """Deprecated alias for :meth:`backend`.
 
-            return BranchAndBoundSolver(
-                time_limit_seconds=self.time_limit_seconds,
-                max_nodes=self.node_limit,
-            )
-        if self.time_limit_seconds is not None:
-            from ..lp.scipy_backend import ScipySolver
-
-            return ScipySolver(time_limit_seconds=self.time_limit_seconds)
-        return None
+        Historically this method owned the limit-based default selection
+        and returned ``None`` for "the default backend"; that logic now
+        lives in the backend registry, and :meth:`backend` always returns
+        a concrete instance.
+        """
+        warnings.warn(
+            "ProvisionOptions.resolved_solver() is deprecated; use "
+            "ProvisionOptions.backend() (the selection logic moved into "
+            "repro.lp.backends.resolve_backend)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.backend()
 
 
 def coalesce_options(

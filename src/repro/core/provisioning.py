@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import ProvisioningError
+from ..lp.backends import backend_name
 from ..lp.constraint import Constraint
 from ..lp.expr import LinExpr, Variable
 from ..lp.model import Model, Objective
@@ -77,6 +78,16 @@ from .options import (  # noqa: F401  (re-exported for compatibility)
 
 #: Rates are expressed in Mbps inside the MIP to keep coefficients well-scaled.
 _MBPS = 1e6
+
+
+def _stamp_backend(statistics: Dict[str, float], solver) -> Dict[str, float]:
+    """Record which backend produced a solve's statistics.
+
+    The ``auto`` portfolio driver stamps its winner itself; fixed backends
+    get their declared capability-protocol name.
+    """
+    statistics.setdefault("backend", backend_name(solver))
+    return statistics
 
 
 class PathSelectionHeuristic(enum.Enum):
@@ -192,7 +203,7 @@ def provision(
             options=options,
         )
 
-    solver = options.resolved_solver()
+    solver = options.backend()
     construction_start = time.perf_counter()
     built = build_provisioning_model(
         statements, logical_topologies, rates, topology, heuristic=heuristic
@@ -253,7 +264,7 @@ def provision(
         num_variables=model.num_variables(),
         num_constraints=model.num_constraints(),
         solve_status=result.status.value,
-        solve_statistics=dict(result.statistics),
+        solve_statistics=_stamp_backend(dict(result.statistics), solver),
         num_partitions=1,
     )
 

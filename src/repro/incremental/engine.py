@@ -188,7 +188,7 @@ class IncrementalProvisioner:
         self.placements = dict(placements or {})
         self.heuristic = heuristic
         self.options = options
-        self.solver = options.resolved_solver()
+        self.solver = options.backend()
         self.max_workers = options.max_workers
         self.footprint_slack = options.footprint_slack
         self._cache_limit = options.cache_limit

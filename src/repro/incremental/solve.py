@@ -49,6 +49,7 @@ from ..core.provisioning import (
 from ..core.allocation import PathAssignment
 from ..core.ast import Statement
 from ..errors import ProvisioningError
+from ..lp.backends import backend_name, capabilities
 from ..lp.result import SolveStatus
 from ..topology.graph import Topology
 from ..units import Bandwidth
@@ -151,16 +152,17 @@ def build_partition_model(
 def solver_consumes_warm_starts(solver) -> bool:
     """Whether computing a MIP start for this backend is worthwhile.
 
-    ``None`` (the default backend, :class:`~repro.lp.scipy_backend.
-    ScipySolver`) records-and-ignores starts, so projection work would be
-    wasted on the delta-latency path.  Backends advertise support via a
-    ``consumes_warm_starts`` attribute; unknown third-party backends default
-    to ``True`` — ``Model.solve``'s signature probe still drops the keyword
-    if their ``solve`` cannot receive it.
+    Delegates to the backend capability protocol
+    (:func:`repro.lp.backends.capabilities`): a backend receives starts iff
+    it declares ``consumes_warm_starts = True``.  ``None`` (the default
+    backend, :class:`~repro.lp.scipy_backend.ScipySolver`) records-and-
+    ignores starts, and an unknown third-party backend that declares
+    nothing gets the one documented default — no starts — so projection
+    work is never wasted on the delta-latency path.
     """
     if solver is None:
         return False
-    return bool(getattr(solver, "consumes_warm_starts", True))
+    return capabilities(solver).consumes_warm_starts
 
 
 def project_warm_start(
@@ -213,11 +215,15 @@ def _solve_model_payload(payload):
     """
     model, solver, warm_start = payload
     result = model.solve(solver, warm_start=warm_start)
+    statistics = dict(result.statistics)
+    # Which backend produced the numbers: the portfolio driver records the
+    # winner itself; fixed backends are stamped with their declared name.
+    statistics.setdefault("backend", backend_name(solver))
     return (
         result.status.value,
         result.values_by_name(),
         result.objective,
-        dict(result.statistics),
+        statistics,
     )
 
 
@@ -718,7 +724,7 @@ def provision_partitioned(
         rates,
         capacity_mbps,
         heuristic,
-        solver=options.resolved_solver(),
+        solver=options.backend(),
         max_workers=options.max_workers,
         footprint_slack=options.footprint_slack,
         widen=options.widen_slack,

@@ -74,7 +74,10 @@ class _Node:
 class BranchAndBoundSolver:
     """Best-first branch-and-bound over HiGHS LP relaxations."""
 
+    name = "bnb"
     consumes_warm_starts = True
+    supports_time_limit = True
+    supports_node_limit = True
 
     def __init__(
         self,

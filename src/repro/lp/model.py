@@ -307,17 +307,19 @@ class Model:
         """Solve the model with the given backend (SciPy/HiGHS by default).
 
         ``warm_start`` optionally maps variable names to a known (partial)
-        feasible assignment — a MIP start.  Backends that support starts
-        (:class:`~repro.lp.branch_and_bound.BranchAndBoundSolver`) seed their
-        incumbent from it; backends whose ``solve`` takes no ``warm_start``
-        parameter (including third-party ones written against the plain
-        ``solve(model)`` protocol) are called without it.
+        feasible assignment — a MIP start.  It is passed through only to
+        backends that declare ``consumes_warm_starts = True`` (see
+        :func:`repro.lp.backends.capabilities`); backends without the flag
+        — including third-party ones written against the plain
+        ``solve(model)`` protocol — are called without it.
         """
+        from .backends import capabilities
+
         if solver is None:
             from .scipy_backend import ScipySolver
 
             solver = ScipySolver()
-        if warm_start is None or not _accepts_warm_start(solver):
+        if warm_start is None or not capabilities(solver).consumes_warm_starts:
             return solver.solve(self)
         return solver.solve(self, warm_start=warm_start)
 
@@ -330,17 +332,3 @@ class Model:
             f"Model({self.name!r}, variables={self.num_variables()}, "
             f"integer={self.num_integer_variables()}, constraints={self.num_constraints()})"
         )
-
-
-def _accepts_warm_start(solver) -> bool:
-    """Whether a backend's ``solve`` can receive the ``warm_start`` keyword."""
-    import inspect
-
-    try:
-        parameters = inspect.signature(solver.solve).parameters
-    except (TypeError, ValueError):  # builtins / exotic callables
-        return False
-    return "warm_start" in parameters or any(
-        parameter.kind is inspect.Parameter.VAR_KEYWORD
-        for parameter in parameters.values()
-    )

@@ -37,14 +37,14 @@ from .result import SolveResult, SolveStatus
 class ScipySolver:
     """Solve :class:`~repro.lp.model.Model` instances with SciPy/HiGHS."""
 
+    name = "scipy"
+
     # scipy.optimize.milp has no MIP-start plumbing: a warm_start passed to
     # solve() is recorded as ignored.  Callers that pay to *compute* starts
     # (the incremental engine's incumbent projection) check this flag first.
     consumes_warm_starts = False
-
-    # One warning per process, not per solve: a controller streaming deltas
-    # through a warm-start-blind backend should hear about it once.
-    _warned_ignored_warm_start = False
+    supports_time_limit = True
+    supports_node_limit = False
 
     def __init__(
         self,
@@ -55,6 +55,11 @@ class ScipySolver:
         self.time_limit_seconds = time_limit_seconds
         self.mip_gap = mip_gap
         self.sparse = sparse
+        # One warning per instance, not per solve (and not per process: a
+        # module-global flag made test outcomes depend on execution order).
+        # A controller streaming deltas through a warm-start-blind backend
+        # hears about it once per solver it configures.
+        self._warned_ignored_warm_start = False
 
     def solve(
         self, model: Model, warm_start: Optional[Mapping[str, float]] = None
@@ -77,9 +82,9 @@ class ScipySolver:
             # start plumbing lands (a consuming subclass flips the flag).
             if (
                 not self.consumes_warm_starts
-                and not ScipySolver._warned_ignored_warm_start
+                and not self._warned_ignored_warm_start
             ):
-                ScipySolver._warned_ignored_warm_start = True
+                self._warned_ignored_warm_start = True
                 warnings.warn(
                     "the SciPy/HiGHS backend has no MIP-start plumbing: the "
                     "warm start was recorded but NOT consumed (statistics "

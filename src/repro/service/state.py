@@ -56,6 +56,16 @@ class BatchRecord:
     merged: bool
     statistics: CompilationStatistics
 
+    @property
+    def backends(self) -> Tuple[str, ...]:
+        """Which solver backend handled each re-solved component.
+
+        Per-component names in the provisioning result's component order
+        (see ``CompilationStatistics.component_backends``); empty when the
+        batch re-solved nothing (e.g. a cap-only update).
+        """
+        return tuple(self.statistics.component_backends)
+
 
 @dataclass(frozen=True)
 class TenantStats:

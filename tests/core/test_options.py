@@ -37,21 +37,42 @@ class TestProvisionOptions:
         with pytest.raises(ValueError, match="warm_start"):
             ProvisionOptions(warm_start="sometimes")
 
-    def test_resolved_solver_prefers_explicit_instance(self):
+    def test_backend_prefers_explicit_instance(self):
         backend = ScipySolver()
         options = ProvisionOptions(solver=backend, node_limit=10)
-        assert options.resolved_solver() is backend
+        assert options.backend() is backend
 
-    def test_resolved_solver_node_limit_builds_branch_and_bound(self):
-        resolved = ProvisionOptions(node_limit=10).resolved_solver()
+    def test_backend_node_limit_builds_branch_and_bound(self):
+        resolved = ProvisionOptions(node_limit=10).backend()
         assert isinstance(resolved, BranchAndBoundSolver)
+        assert resolved.max_nodes == 10
 
-    def test_resolved_solver_time_limit_builds_scipy(self):
-        resolved = ProvisionOptions(time_limit_seconds=1.0).resolved_solver()
+    def test_backend_time_limit_builds_scipy(self):
+        resolved = ProvisionOptions(time_limit_seconds=1.0).backend()
         assert isinstance(resolved, ScipySolver)
+        assert resolved.time_limit_seconds == 1.0
 
-    def test_resolved_solver_default_is_none(self):
-        assert ProvisionOptions().resolved_solver() is None
+    def test_backend_default_is_scipy(self):
+        assert isinstance(ProvisionOptions().backend(), ScipySolver)
+
+    def test_backend_accepts_registered_names(self):
+        resolved = ProvisionOptions(solver="bnb", node_limit=7).backend()
+        assert isinstance(resolved, BranchAndBoundSolver)
+        assert resolved.max_nodes == 7
+
+    def test_unknown_backend_name_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            ProvisionOptions(solver="simplex2000")
+
+    def test_resolved_solver_shim_warns_and_delegates(self):
+        """The deprecated accessor keeps working (one release, like the
+        legacy keyword shim) but now warns and returns a concrete default
+        instead of ``None``."""
+        with pytest.warns(DeprecationWarning, match="resolved_solver"):
+            resolved = ProvisionOptions(node_limit=10).resolved_solver()
+        assert isinstance(resolved, BranchAndBoundSolver)
+        with pytest.warns(DeprecationWarning, match="backend"):
+            assert isinstance(ProvisionOptions().resolved_solver(), ScipySolver)
 
 
 class TestCoalesceOptions:

@@ -1,0 +1,208 @@
+"""End-to-end backend selection: string names, `auto` determinism, heuristic.
+
+The backend layer's contract at the compiler/service level:
+
+* every entry point that accepts a solver instance accepts a registry name
+  (``provision()`` via :class:`ProvisionOptions`, ``recompile()``,
+  ``ControlPlane.submit()``);
+* ``auto`` picks are deterministic — identical allocation and identical
+  per-component winner across repeated runs *and* worker counts;
+* the ``heuristic`` backend's allocation is feasible and its bottleneck
+  utilisation is within a stated bound of the exact optimum;
+* the chosen backend names surface per component in
+  ``CompilationStatistics.component_backends`` and the daemon's
+  ``BatchRecord.backends``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import MerlinCompiler, ProvisionOptions
+from repro.core.ast import Statement
+from repro.experiments.reprovisioning import pod_tenant_scenario
+from repro.incremental import DeltaStatement, PolicyDelta
+from repro.lp import registered_backends
+from repro.predicates.ast import FieldTest, pred_and
+from repro.regex.parser import parse_path_expression
+from repro.service import ControlPlane
+from repro.topology.generators import figure2_example
+from repro.units import Bandwidth
+
+FIG2_SOURCE = """
+[ x : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 20) -> .* dpi .* ;
+  z : (eth.src = 00:00:00:00:00:01 and
+       eth.dst = 00:00:00:00:00:02 and
+       tcp.dst = 80) -> .* dpi .* ],
+min(x, 25MB/s) and min(z, 50MB/s)
+"""
+FIG2_PLACEMENTS = {"dpi": ("h1", "h2", "m1"), "nat": ("m1",)}
+
+#: The heuristic trades optimality for latency; on these small workloads its
+#: bottleneck utilisation must stay within this much of the exact optimum.
+HEURISTIC_UTILIZATION_BOUND = 0.25
+
+
+def _fig2_compiler(solver, **options_kwargs):
+    return MerlinCompiler(
+        topology=figure2_example(capacity=Bandwidth.gbps(2)),
+        placements=FIG2_PLACEMENTS,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+        options=ProvisionOptions(solver=solver, **options_kwargs),
+    )
+
+
+def _pod_compiler(scenario, solver, **options_kwargs):
+    return MerlinCompiler(
+        topology=scenario.topology,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+        options=ProvisionOptions(solver=solver, **options_kwargs),
+    )
+
+
+def _allocation(result):
+    """The allocation as comparable data: paths plus link reservations."""
+    return (
+        {identifier: p.path for identifier, p in result.paths.items()},
+        {key: value.bps_value for key, value in result.link_reservations.items()},
+    )
+
+
+class TestStringBackendsEndToEnd:
+    @pytest.mark.parametrize("name", ["scipy", "bnb", "heuristic", "auto"])
+    def test_provision_with_each_registered_name(self, name):
+        result = _fig2_compiler(name).compile(FIG2_SOURCE)
+        assert result.max_link_utilization() <= 1.0 + 1e-6
+        assert set(result.paths) == {"x", "z"}
+        backends = result.statistics.component_backends
+        assert backends, "per-component backend names must be recorded"
+        assert all(backend in registered_backends() for backend in backends)
+        if name != "auto":
+            assert set(backends) == {name}
+
+    def test_recompile_threads_the_backend_through(self):
+        compiler = _fig2_compiler("auto")
+        compiler.compile(FIG2_SOURCE)
+        statement = Statement(
+            "w",
+            pred_and(
+                FieldTest("eth.src", "00:00:00:00:00:01"),
+                pred_and(
+                    FieldTest("eth.dst", "00:00:00:00:00:02"),
+                    FieldTest("tcp.dst", 443),
+                ),
+            ),
+            parse_path_expression(".* dpi .*"),
+        )
+        delta = PolicyDelta(
+            add=(DeltaStatement(statement, guarantee=Bandwidth.mb_per_sec(5)),)
+        )
+        result = compiler.recompile(delta)
+        assert "w" in result.paths
+        backends = result.statistics.component_backends
+        assert backends
+        assert all(backend in registered_backends() for backend in backends)
+
+    def test_control_plane_submit_records_backends(self):
+        async def run():
+            plane = ControlPlane()
+            await plane.open_group(
+                "g",
+                FIG2_SOURCE,
+                topology=figure2_example(capacity=Bandwidth.gbps(2)),
+                placements=FIG2_PLACEMENTS,
+                overlap="trust",
+                add_catch_all=False,
+                generate_code=False,
+                options=ProvisionOptions(solver="auto"),
+            )
+            statement = Statement(
+                "w",
+                pred_and(
+                    FieldTest("eth.src", "00:00:00:00:00:01"),
+                    pred_and(
+                        FieldTest("eth.dst", "00:00:00:00:00:02"),
+                        FieldTest("tcp.dst", 443),
+                    ),
+                ),
+                parse_path_expression(".* dpi .*"),
+            )
+            ticket = plane.submit(
+                "g",
+                PolicyDelta(
+                    add=(
+                        DeltaStatement(
+                            statement, guarantee=Bandwidth.mb_per_sec(5)
+                        ),
+                    )
+                ),
+                tenant="alice",
+            )
+            plane.start()
+            await ticket.result()
+            await plane.shutdown()
+            return plane.query("g")
+
+        state = asyncio.run(run())
+        assert state.last_batch is not None
+        backends = state.last_batch.backends
+        assert backends
+        assert all(backend in registered_backends() for backend in backends)
+
+
+class TestAutoDeterminism:
+    def test_identical_picks_across_runs_and_worker_counts(self):
+        scenario = pod_tenant_scenario(arity=4, pairs_per_pod=1)
+        results = []
+        for max_workers in (0, 0, 2):
+            compiled = _pod_compiler(
+                scenario, "auto", max_workers=max_workers
+            ).compile(scenario.policy)
+            results.append(compiled)
+        baseline = results[0]
+        assert len(baseline.statistics.component_backends) >= 2
+        for other in results[1:]:
+            assert _allocation(other) == _allocation(baseline)
+            assert (
+                other.statistics.component_backends
+                == baseline.statistics.component_backends
+            )
+
+
+class TestHeuristicAgainstExactOracle:
+    @pytest.mark.parametrize("workload", ["figure2", "pod_tenant"])
+    def test_feasible_and_within_bound(self, workload):
+        if workload == "figure2":
+            heuristic = _fig2_compiler("heuristic").compile(FIG2_SOURCE)
+            exact = _fig2_compiler("bnb").compile(FIG2_SOURCE)
+        else:
+            scenario = pod_tenant_scenario(arity=4, pairs_per_pod=1)
+            heuristic = _pod_compiler(scenario, "heuristic").compile(
+                scenario.policy
+            )
+            exact = _pod_compiler(scenario, "bnb").compile(scenario.policy)
+
+        # Feasibility: no oversubscribed link, every statement routed on a
+        # real source-to-sink path, full guarantees reserved.
+        assert heuristic.max_link_utilization() <= 1.0 + 1e-6
+        assert set(heuristic.paths) == set(exact.paths)
+        for identifier, assignment in heuristic.paths.items():
+            oracle = exact.paths[identifier]
+            assert assignment.path[0] == oracle.path[0]
+            assert assignment.path[-1] == oracle.path[-1]
+        total_heuristic = sum(
+            value.bps_value
+            for value in heuristic.link_reservations.values()
+        )
+        assert total_heuristic > 0.0
+
+        # Objective bound: the heuristic bottleneck is near the optimum.
+        assert heuristic.max_link_utilization() <= (
+            exact.max_link_utilization() + HEURISTIC_UTILIZATION_BOUND
+        )

@@ -1,0 +1,256 @@
+"""The solver-backend layer: protocol, registry, primal heuristic, portfolio."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.lp import (
+    AutoSolver,
+    BranchAndBoundSolver,
+    LinExpr,
+    Model,
+    PrimalHeuristicSolver,
+    ScipySolver,
+    SolverBackend,
+    backend_name,
+    capabilities,
+    create_backend,
+    highs_available,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.lp.result import SolveStatus
+
+
+def _knapsack():
+    """max 10a+13b+7c+8d st 3a+4b+2c+3d<=6, a+b+c+d<=3; optimum 20."""
+    model = Model("knapsack")
+    items = [model.add_binary(f"x{i}") for i in range(4)]
+    values = [10.0, 13.0, 7.0, 8.0]
+    weights = [3.0, 4.0, 2.0, 3.0]
+    model.add_constraint(
+        LinExpr.weighted_sum(zip(items, weights)) <= 6.0, name="weight"
+    )
+    model.add_constraint(LinExpr.sum_of(items) <= 3.0, name="cardinality")
+    model.maximize(LinExpr.weighted_sum(zip(items, values)))
+    return model
+
+
+def _provisioning_model():
+    """A real provisioning MIP (figure-2 topology, one guaranteed statement)."""
+    from repro.core.localization import localize
+    from repro.core.logical import build_logical_topology, infer_endpoints
+    from repro.core.parser import parse_policy
+    from repro.core.provisioning import build_provisioning_model
+    from repro.topology.generators import figure2_example
+    from repro.units import Bandwidth
+
+    topology = figure2_example(capacity=Bandwidth.gbps(2))
+    policy = parse_policy(
+        """
+        [ z : (eth.src = 00:00:00:00:00:01 and
+               eth.dst = 00:00:00:00:00:02) -> .* ],
+        min(z, 50MB/s)
+        """,
+        topology=topology,
+    )
+    rates = localize(policy)
+    statement = policy.statements[0]
+    source, destination = infer_endpoints(statement, topology)
+    logical = {
+        "z": build_logical_topology(
+            statement, topology, {}, source=source, destination=destination
+        )
+    }
+    return build_provisioning_model([statement], logical, rates, topology)
+
+
+class TestCapabilities:
+    def test_registered_backends_declare_the_protocol(self):
+        for name in ("scipy", "bnb", "heuristic", "auto"):
+            backend = create_backend(name)
+            assert isinstance(backend, SolverBackend)
+            assert capabilities(backend).name == name
+            assert backend_name(backend) == name
+
+    def test_undeclared_capability_is_absent(self):
+        """The one documented default for unknown third-party backends."""
+
+        class Mystery:
+            def solve(self, model):
+                raise NotImplementedError
+
+        caps = capabilities(Mystery())
+        assert caps.name == "Mystery"
+        assert caps.consumes_warm_starts is False
+        assert caps.supports_time_limit is False
+        assert caps.supports_node_limit is False
+
+    def test_none_reports_the_default_backend(self):
+        assert capabilities(None).name == "scipy"
+        assert capabilities(None).consumes_warm_starts is False
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(registered_backends()) >= {
+            "scipy",
+            "bnb",
+            "highs",
+            "heuristic",
+            "auto",
+        }
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(SolverError, match="registered backends: .*scipy"):
+            create_backend("simplex2000")
+
+    def test_duplicate_registration_rejected_unless_replaced(self):
+        from repro.lp.backends import _REGISTRY
+
+        def factory(**kwargs):
+            return ScipySolver()
+
+        register_backend("test-dup", factory)
+        try:
+            with pytest.raises(SolverError, match="already registered"):
+                register_backend("test-dup", factory)
+            register_backend("test-dup", factory, replace=True)
+        finally:
+            _REGISTRY.pop("test-dup", None)
+
+    def test_limits_reach_the_factory(self):
+        backend = create_backend("bnb", time_limit_seconds=2.5, node_limit=99)
+        assert backend.time_limit_seconds == 2.5
+        assert backend.max_nodes == 99
+
+    def test_resolve_defaults_follow_the_limits(self):
+        assert isinstance(resolve_backend(None), ScipySolver)
+        assert isinstance(resolve_backend(None, node_limit=5), BranchAndBoundSolver)
+
+    def test_resolve_returns_instances_by_identity(self):
+        backend = BranchAndBoundSolver(max_nodes=7)
+        assert resolve_backend(backend, node_limit=1000) is backend
+
+    def test_highs_unavailable_raises_clear_error(self):
+        if highs_available():
+            pytest.skip("highspy installed: the backend constructs fine")
+        with pytest.raises(SolverError, match="highspy"):
+            create_backend("highs")
+
+
+@pytest.mark.skipif(not highs_available(), reason="highspy is not installed")
+class TestHighsBackend:
+    def test_solves_knapsack(self):
+        result = create_backend("highs").solve(_knapsack())
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(20.0)
+
+    def test_consumes_warm_start(self):
+        model = _knapsack()
+        start = ScipySolver().solve(model).values_by_name()
+        result = create_backend("highs").solve(model, warm_start=start)
+        assert result.statistics["warm_start_used"] == 1.0
+        assert result.objective == pytest.approx(20.0)
+
+    def test_rejects_infeasible_start(self):
+        model = _knapsack()
+        result = create_backend("highs").solve(
+            model, warm_start={f"x{i}": 1.0 for i in range(4)}
+        )
+        assert result.statistics["warm_start_rejected"] == 1.0
+        assert result.objective == pytest.approx(20.0)
+
+
+class TestPrimalHeuristic:
+    def test_rejects_non_provisioning_models(self):
+        with pytest.raises(SolverError, match="provisioning path model"):
+            PrimalHeuristicSolver().solve(_knapsack())
+
+    def test_feasible_on_provisioning_model(self):
+        built = _provisioning_model()
+        result = PrimalHeuristicSolver().solve(built.model)
+        assert result.status is SolveStatus.FEASIBLE
+        values = result.values_by_name()
+        # A full assignment: every model variable valued, one path selected.
+        assert set(values) == {v.name for v in built.model.variables()}
+        assert values["r_max"] <= 1.0 + 1e-9
+        selected = [
+            name for name, value in values.items()
+            if name.startswith("x__") and value > 0.5
+        ]
+        assert selected
+
+    def test_repeated_solves_are_identical(self):
+        built = _provisioning_model()
+        first = PrimalHeuristicSolver().solve(built.model)
+        second = PrimalHeuristicSolver().solve(built.model)
+        assert first.values_by_name() == second.values_by_name()
+        assert first.objective == second.objective
+
+    def test_consumes_warm_start(self):
+        built = _provisioning_model()
+        exact = BranchAndBoundSolver().solve(built.model)
+        seeded = PrimalHeuristicSolver().solve(
+            built.model, warm_start=exact.values_by_name()
+        )
+        assert seeded.statistics["warm_start_used"] == 1.0
+        # Seeded from the optimum, the search can only keep or improve it.
+        assert seeded.values_by_name()["r_max"] <= (
+            exact.values_by_name()["r_max"] + 1e-9
+        )
+
+    def test_rejects_broken_warm_start(self):
+        built = _provisioning_model()
+        result = PrimalHeuristicSolver().solve(
+            built.model, warm_start={"nonsense": 1.0}
+        )
+        # The start decodes to no usable path; greedy construction covers.
+        assert result.statistics["warm_start_rejected"] == 1.0
+        assert result.status is SolveStatus.FEASIBLE
+
+
+class TestAutoSolver:
+    def test_short_circuits_on_proven_optimum(self):
+        result = AutoSolver().solve(_knapsack())
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.objective == pytest.approx(20.0)
+        # scipy (first available candidate) proves optimality; no racing on.
+        assert result.statistics["backend"] == (
+            "highs" if highs_available() else "scipy"
+        )
+        assert result.statistics["auto_candidates"] == 1.0
+
+    def test_repeated_solves_pick_identically(self):
+        built = _provisioning_model()
+        outcomes = [AutoSolver().solve(built.model) for _ in range(3)]
+        picks = {outcome.statistics["backend"] for outcome in outcomes}
+        assert len(picks) == 1
+        baseline = outcomes[0].values_by_name()
+        for outcome in outcomes[1:]:
+            assert outcome.values_by_name() == baseline
+
+    def test_large_models_are_heuristic_seeded(self):
+        built = _provisioning_model()
+        assert built.model.num_integer_variables() > 0
+        driver = AutoSolver()
+        driver.seed_threshold = 0  # force the seeding path
+        result = driver.solve(built.model)
+        assert result.status is SolveStatus.OPTIMAL
+        assert result.statistics["auto_seeded"] == 1.0
+
+    def test_node_limit_restricts_candidates(self):
+        driver = AutoSolver(node_limit=50_000)
+        result = driver.solve(_knapsack())
+        # scipy cannot bound its search; only node-limit-capable backends run.
+        assert result.statistics["backend"] in ("highs", "bnb")
+        assert result.status is SolveStatus.OPTIMAL
+
+    def test_infeasible_model_short_circuits(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_constraint(x.to_expr() >= 2.0)
+        model.minimize(x.to_expr())
+        result = AutoSolver().solve(model)
+        assert result.status is SolveStatus.INFEASIBLE
+        assert result.statistics["auto_candidates"] == 1.0

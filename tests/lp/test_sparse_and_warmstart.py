@@ -119,23 +119,27 @@ class TestWarmStart:
         assert result.statistics["warm_start_ignored"] == 1.0
         assert result.objective == pytest.approx(20.0)
 
-    def test_scipy_backend_warns_once_about_ignored_start(self, monkeypatch):
-        """A dropped MIP start is easy to miss in statistics alone: the
-        backend warns the first time (and only the first time) a start is
-        recorded-ignored.  Backends that consume starts stay silent."""
+    def test_scipy_backend_warns_once_per_instance_about_ignored_start(self):
+        """A dropped MIP start is easy to miss in statistics alone: each
+        backend instance warns the first time (and only the first time) a
+        start is recorded-ignored.  The state is per-instance — not a
+        module global — so the outcome never depends on which test (or
+        solver) ran first.  Backends that consume starts stay silent."""
         import warnings
 
         model, _ = _knapsack()
-        monkeypatch.setattr(ScipySolver, "_warned_ignored_warm_start", False)
+        solver = ScipySolver()
         with pytest.warns(RuntimeWarning, match="NOT consumed"):
-            ScipySolver().solve(model, warm_start={"x0": 1.0})
-        # One-time: the second ignored start is silent (fresh instance too).
+            solver.solve(model, warm_start={"x0": 1.0})
+        # One-time per instance: the second ignored start is silent.
         with warnings.catch_warnings():
             warnings.simplefilter("error")
+            solver.solve(model, warm_start={"x0": 1.0})
+        # A fresh instance has not warned yet — no cross-instance bleed.
+        with pytest.warns(RuntimeWarning, match="NOT consumed"):
             ScipySolver().solve(model, warm_start={"x0": 1.0})
-        # A future start-consuming backend (highspy plumbing) is gated off.
-        monkeypatch.setattr(ScipySolver, "_warned_ignored_warm_start", False)
 
+        # A start-consuming subclass (highspy plumbing) is gated off.
         class ConsumingScipy(ScipySolver):
             consumes_warm_starts = True
 
@@ -234,18 +238,41 @@ class TestWarmStart:
 
     def test_warm_start_capability_flags(self):
         """The incremental engine skips incumbent projection for backends
-        that cannot consume MIP starts (the default scipy backend)."""
+        that cannot consume MIP starts (the default scipy backend).  The
+        one documented default for third-party backends: an undeclared
+        capability is absent — declare ``consumes_warm_starts = True`` to
+        receive starts."""
         from repro.incremental.solve import solver_consumes_warm_starts
 
         assert not solver_consumes_warm_starts(None)
         assert not solver_consumes_warm_starts(ScipySolver())
         assert solver_consumes_warm_starts(BranchAndBoundSolver())
 
-        class UnknownBackend:  # third-party: keep projecting, probe decides
+        class UnknownBackend:  # third-party, declares nothing: no starts
             def solve(self, model):
                 raise NotImplementedError
 
-        assert solver_consumes_warm_starts(UnknownBackend())
+        class DeclaringBackend(UnknownBackend):
+            consumes_warm_starts = True
+
+        assert not solver_consumes_warm_starts(UnknownBackend())
+        assert solver_consumes_warm_starts(DeclaringBackend())
+
+    def test_model_solve_gates_start_on_declared_capability(self):
+        """``Model.solve`` consults the same capability flag (no more
+        ``inspect.signature`` probing): an undeclared backend is called
+        without the keyword even when a start is supplied."""
+        model, _ = _knapsack()
+        calls = {}
+
+        class ProbeBackend:  # would crash if handed warm_start
+            def solve(self, solved_model):
+                calls["warm_start"] = False
+                return ScipySolver().solve(solved_model)
+
+        result = model.solve(ProbeBackend(), warm_start={"x0": 1.0})
+        assert calls == {"warm_start": False}
+        assert result.objective == pytest.approx(20.0)
 
 
 class TestRowAndVariableRemoval:
