@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test check bench bench-smoke bench-reprovision bench-churn bench-checkpoint bench-portfolio
+.PHONY: test check lint-clock bench bench-smoke bench-reprovision bench-churn bench-checkpoint bench-portfolio bench-telemetry
 
 # Tier-1 verification: the full unit + benchmark suite at quick scale.
 test:
@@ -8,14 +8,26 @@ test:
 
 # CI gate: tier-1 tests plus a byte-compile of the whole source tree
 # (catches syntax errors in modules the suite does not import), the
-# seeded churn replay (zero session invalidations under failures), and
-# the checkpoint-scale guard (per-delta checkpoint cost stays O(delta)
+# telemetry clock lint and disabled-overhead guard, the seeded churn
+# replay (zero session invalidations under failures), and the
+# checkpoint-scale guard (per-delta checkpoint cost stays O(delta)
 # between the 1k and 100k statement populations).
-check:
+check: lint-clock
 	$(PYTEST) -x -q
 	python -m compileall -q src
+	$(PYTEST) -q benchmarks/test_telemetry_overhead.py
 	$(PYTEST) -q benchmarks/test_churn.py benchmarks/test_checkpoint_scale.py
 	$(PYTEST) -q benchmarks/test_ablation_design_choices.py -k "portfolio"
+
+# All timing must flow through the injectable telemetry clock: a bare
+# time.perf_counter() anywhere in src/repro outside the telemetry package
+# dodges clock injection (tests/telemetry/test_clock_lint.py enforces the
+# same rule under pytest).
+lint-clock:
+	@if grep -rn "time\.perf_counter" src/repro --include="*.py" | grep -v "^src/repro/telemetry/"; then \
+		echo "bare time.perf_counter() found; use repro.telemetry.clock()"; \
+		exit 1; \
+	fi
 
 # The full benchmark suite (set MERLIN_BENCH_SCALE=full for paper scale).
 bench:
@@ -24,14 +36,16 @@ bench:
 # Fast smoke: the smallest Figure 8 scaling point, one incremental
 # re-provisioning round trip, the footprint-tightening partition guard
 # (the pod-tenant workload plus one `.*` statement must keep >= one MIP
-# component per tenant), and the seeded churn replay.
+# component per tenant), the seeded churn replay, and the telemetry
+# disabled-path overhead guard.
 bench-smoke:
 	$(PYTEST) -q benchmarks/test_fig8_scaling.py::test_fig8_smallest_point_smoke \
 		benchmarks/test_fig10b_reprovisioning.py::test_reprovision_smoke \
 		benchmarks/test_fig10b_reprovisioning.py::test_footprint_partitioning_smoke \
 		benchmarks/test_churn.py \
 		benchmarks/test_checkpoint_scale.py \
-		benchmarks/test_ablation_design_choices.py::test_ablation_portfolio
+		benchmarks/test_ablation_design_choices.py::test_ablation_portfolio \
+		benchmarks/test_telemetry_overhead.py
 
 # Figure 10b': incremental re-provisioning latency vs full recompiles
 # (writes benchmarks/results/fig10b_reprovisioning.txt).
@@ -60,3 +74,9 @@ bench-portfolio:
 # MERLIN_BENCH_SCALE=full raises the large population to 250k.
 bench-checkpoint:
 	$(PYTEST) -q benchmarks/test_checkpoint_scale.py
+
+# Telemetry overhead guard: the disabled (default) recorder's per-span
+# cost, measured on the Figure-8 smoke point, must stay under 2% of the
+# compile wall time (writes benchmarks/results/telemetry_overhead.txt).
+bench-telemetry:
+	$(PYTEST) -q benchmarks/test_telemetry_overhead.py

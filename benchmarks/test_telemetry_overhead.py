@@ -1,0 +1,96 @@
+"""Telemetry overhead guard — disabled instrumentation must stay free.
+
+The repo's hot paths (compile, partitioned solve, branch-and-bound) are
+permanently instrumented; the contract that makes this acceptable is that
+the *disabled* path (no recorder, no metrics — the default bundle) costs
+two clock reads and zero allocations per span.  This benchmark pins that
+contract to the Figure-8 smoke point: the measured per-span cost times
+the number of spans a traced run of that compile actually opens must stay
+under 2% of the compile's wall time.  ``make check`` runs this via
+``make bench-telemetry``.
+"""
+
+import time
+
+from repro import telemetry
+from repro.core.compiler import MerlinCompiler
+from repro.experiments.policy_builders import all_pairs_policy
+from repro.telemetry import Telemetry
+from repro.topology.generators import fat_tree
+
+#: Disabled instrumentation may cost at most this fraction of the smoke
+#: point's compile time.
+OVERHEAD_BUDGET = 0.02
+
+_SPAN_PROBES = 20_000
+
+
+def _smoke_compile():
+    """The Figure-8 smallest point: fat tree k=4, 5% guaranteed classes."""
+    topology = fat_tree(4)
+    policy = all_pairs_policy(
+        topology, guarantee_fraction=0.05, max_classes=60, seed=0
+    )
+    compiler = MerlinCompiler(
+        topology=topology,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+    )
+    return compiler.compile(policy)
+
+
+def _baseline_seconds(rounds=3):
+    """Best-of-N wall time of the smoke compile with telemetry disabled."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        _smoke_compile()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _disabled_span_seconds():
+    """Measured per-span cost of the disabled (pooled, recorder-less) path."""
+    span = telemetry.span  # the ambient helper instrumentation sites use
+    started = time.perf_counter()
+    for _ in range(_SPAN_PROBES):
+        with span("overhead_probe"):
+            pass
+    return (time.perf_counter() - started) / _SPAN_PROBES
+
+
+def _spans_per_smoke_compile():
+    """How many spans one traced smoke compile actually opens."""
+    bundle = Telemetry.recording()
+    with bundle.use():
+        _smoke_compile()
+    return len(bundle.recorder.spans)
+
+
+def test_disabled_telemetry_overhead_within_budget(report):
+    _smoke_compile()  # warm caches and imports off the clock
+    baseline = _baseline_seconds()
+    per_span = _disabled_span_seconds()
+    num_spans = _spans_per_smoke_compile()
+    overhead = per_span * num_spans
+    fraction = overhead / baseline
+    report(
+        "telemetry_overhead",
+        "\n".join(
+            [
+                f"fig8 smoke baseline (disabled telemetry): {baseline * 1000.0:.2f}ms",
+                f"disabled span cost: {per_span * 1e9:.0f}ns over {_SPAN_PROBES} probes",
+                f"spans opened by one traced smoke compile: {num_spans}",
+                f"estimated disabled-path overhead: {overhead * 1e6:.1f}us "
+                f"({fraction * 100.0:.3f}% of baseline, budget "
+                f"{OVERHEAD_BUDGET * 100.0:.0f}%)",
+            ]
+        ),
+    )
+    assert num_spans > 0
+    assert fraction <= OVERHEAD_BUDGET, (
+        f"disabled telemetry costs {fraction * 100.0:.2f}% of the smoke "
+        f"compile ({overhead * 1e6:.1f}us of {baseline * 1000.0:.2f}ms); "
+        f"budget is {OVERHEAD_BUDGET * 100.0:.0f}%"
+    )

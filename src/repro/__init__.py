@@ -21,7 +21,9 @@ The package root is the supported import surface for the whole lifecycle:
 ``MerlinCompiler`` + ``ProvisionOptions`` to compile, ``ProvisioningSession``
 with ``PolicyDelta`` / ``TopologyDelta`` / ``ScenarioEvent`` to stream
 changes at a live compile, and ``ControlPlane`` + ``AdmissionPolicy`` to run
-the compiler as a multi-tenant provisioning service.
+the compiler as a multi-tenant provisioning service.  ``Telemetry`` (and
+the :mod:`repro.telemetry` module) adds scoped tracing and metrics over
+all of it — ``with Telemetry.recording().use(): ...``.
 """
 
 from .core import (
@@ -39,6 +41,7 @@ from .incremental import PolicyDelta, RateUpdate, TopologyDelta, policy_delta
 from .negotiator import Negotiator, delegate, verify_refinement
 from .scenarios import ScenarioEvent
 from .service import AdmissionPolicy, ControlPlane
+from .telemetry import MetricsSnapshot, Telemetry
 from .topology import (
     Topology,
     balanced_tree,
@@ -71,6 +74,8 @@ __all__ = [
     "ScenarioEvent",
     "AdmissionPolicy",
     "ControlPlane",
+    "MetricsSnapshot",
+    "Telemetry",
     "Negotiator",
     "delegate",
     "verify_refinement",

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Sequence
 
+from .reporting import percentile as reporting_percentile
+
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean (0.0 for an empty sequence)."""
@@ -22,19 +24,16 @@ def stdev(values: Sequence[float]) -> float:
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
-    ordered = sorted(values)
-    if not ordered:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1].
+
+    Thin wrapper over :func:`repro.analysis.reporting.percentile` (which
+    speaks the 0–100 scale and raises on empty input), kept for the
+    callers that prefer fractions and a 0.0 empty-sequence default.
+    """
+    values = list(values)
+    if not values:
         return 0.0
-    if len(ordered) == 1:
-        return ordered[0]
-    position = fraction * (len(ordered) - 1)
-    lower = int(math.floor(position))
-    upper = int(math.ceil(position))
-    if lower == upper:
-        return ordered[lower]
-    weight = position - lower
-    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+    return reporting_percentile(values, fraction * 100.0)
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:

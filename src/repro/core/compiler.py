@@ -23,10 +23,10 @@ measures the ratio.
 from __future__ import annotations
 
 import dataclasses
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from .. import telemetry
 from ..codegen.generator import CodeGenerator
 from ..errors import PolicyError, ProvisioningError
 from ..predicates.ast import TRUE, PTrue, pred_and, pred_not, pred_or
@@ -221,8 +221,21 @@ class MerlinCompiler:
         self.footprint_slack = resolved.footprint_slack
 
     def compile(self, policy: Union[str, Policy]) -> CompilationResult:
-        """Compile a policy (source text or AST) into a :class:`CompilationResult`."""
-        total_start = time.perf_counter()
+        """Compile a policy (source text or AST) into a :class:`CompilationResult`.
+
+        With a telemetry recorder active (``repro.telemetry``), the
+        compile emits one trace: a root ``compile`` span with
+        ``logical_construction``, per-round ``partition``, per-component
+        ``component_solve`` (adopted from pool workers, backend name
+        attached), ``rateless``, and ``codegen`` children.  The reported
+        ``statistics.total_seconds`` *is* the root span's duration.
+        """
+        with telemetry.span("compile") as compile_span:
+            result = self._compile(policy, compile_span)
+        result.statistics.total_seconds = compile_span.duration
+        return result
+
+    def _compile(self, policy: Union[str, Policy], compile_span) -> CompilationResult:
         # A failed compile must not leave the previous compile's session
         # behind: recompile() against a policy the caller has since replaced
         # would silently mix the two.
@@ -263,25 +276,27 @@ class MerlinCompiler:
 
         # --- Guaranteed traffic: logical topologies + MIP (§3.2) -------------
         lp_construction_seconds = 0.0
-        construction_start = time.perf_counter()
-        logical_topologies = {}
-        base_footprints: Dict[str, frozenset] = {}
-        for statement in guaranteed:
-            source, destination = endpoints[statement.identifier]
-            if source is None or destination is None:
-                raise ProvisioningError(
-                    f"statement {statement.identifier!r} requests a bandwidth "
-                    "guarantee but its source/destination hosts cannot be "
-                    "determined from its predicate or path expression"
+        with telemetry.span(
+            "logical_construction", statements=len(guaranteed)
+        ) as construction_span:
+            logical_topologies = {}
+            base_footprints: Dict[str, frozenset] = {}
+            for statement in guaranteed:
+                source, destination = endpoints[statement.identifier]
+                if source is None or destination is None:
+                    raise ProvisioningError(
+                        f"statement {statement.identifier!r} requests a bandwidth "
+                        "guarantee but its source/destination hosts cannot be "
+                        "determined from its predicate or path expression"
+                    )
+                logical = self._logical_for(
+                    logical_cache, statement, source, destination
                 )
-            logical = self._logical_for(
-                logical_cache, statement, source, destination
-            )
-            logical_topologies[statement.identifier] = logical
-            base_footprints[statement.identifier] = frozenset(
-                logical.physical_links_used()
-            )
-        lp_construction_seconds += time.perf_counter() - construction_start
+                logical_topologies[statement.identifier] = logical
+                base_footprints[statement.identifier] = frozenset(
+                    logical.physical_links_used()
+                )
+        lp_construction_seconds += construction_span.duration
 
         provisioning = provision(
             guaranteed,
@@ -298,27 +313,29 @@ class MerlinCompiler:
         infeasible: List[str] = []
 
         # --- Best-effort traffic: sink trees and product-graph BFS (§3.3) ----
-        rateless_start = time.perf_counter()
-        best_effort_paths: Dict[str, PathAssignment] = {}
-        needs_sink_trees = any(
-            _is_unconstrained_path(statement.path) for statement in best_effort
-        )
-        sink_trees = compute_sink_trees(self.topology) if needs_sink_trees else {}
-        for statement in best_effort:
-            if _is_unconstrained_path(statement.path):
-                continue
-            source, destination = endpoints[statement.identifier]
-            logical = self._logical_for(logical_cache, statement, source, destination)
-            base_footprints[statement.identifier] = frozenset(
-                logical.physical_links_used()
+        with telemetry.span(
+            "rateless", statements=len(best_effort)
+        ) as rateless_span:
+            best_effort_paths: Dict[str, PathAssignment] = {}
+            needs_sink_trees = any(
+                _is_unconstrained_path(statement.path) for statement in best_effort
             )
-            assignment = self._best_effort_assignment(statement, logical)
-            if assignment is None:
-                infeasible.append(statement.identifier)
-                continue
-            best_effort_paths[statement.identifier] = assignment
-        paths.update(best_effort_paths)
-        rateless_seconds = time.perf_counter() - rateless_start
+            sink_trees = compute_sink_trees(self.topology) if needs_sink_trees else {}
+            for statement in best_effort:
+                if _is_unconstrained_path(statement.path):
+                    continue
+                source, destination = endpoints[statement.identifier]
+                logical = self._logical_for(logical_cache, statement, source, destination)
+                base_footprints[statement.identifier] = frozenset(
+                    logical.physical_links_used()
+                )
+                assignment = self._best_effort_assignment(statement, logical)
+                if assignment is None:
+                    infeasible.append(statement.identifier)
+                    continue
+                best_effort_paths[statement.identifier] = assignment
+            paths.update(best_effort_paths)
+        rateless_seconds = rateless_span.duration
 
         rates = {
             identifier: RateAllocation.from_local_rates(local)
@@ -329,23 +346,29 @@ class MerlinCompiler:
         codegen_seconds = 0.0
         instructions = None
         if self.generate_code:
-            codegen_start = time.perf_counter()
-            instructions = CodeGenerator(topology=self.topology).generate(
-                preprocessed,
-                paths,
-                rates,
-                sink_trees,
-                endpoints=endpoints,
-                infeasible_statements=tuple(infeasible),
-            )
-            codegen_seconds = time.perf_counter() - codegen_start
+            with telemetry.span("codegen") as codegen_span:
+                instructions = CodeGenerator(topology=self.topology).generate(
+                    preprocessed,
+                    paths,
+                    rates,
+                    sink_trees,
+                    endpoints=endpoints,
+                    infeasible_statements=tuple(infeasible),
+                )
+            codegen_seconds = codegen_span.duration
 
+        compile_span.annotate(
+            statements=len(preprocessed.statements),
+            guaranteed=len(guaranteed),
+        )
         statistics = CompilationStatistics(
             lp_construction_seconds=lp_construction_seconds,
             lp_solve_seconds=provisioning.lp_solve_seconds,
             rateless_seconds=rateless_seconds,
             codegen_seconds=codegen_seconds,
-            total_seconds=time.perf_counter() - total_start,
+            # Span-derived: compile() overwrites this with the root
+            # ``compile`` span's duration once the span closes.
+            total_seconds=0.0,
             num_statements=len(preprocessed.statements),
             num_guaranteed_statements=len(guaranteed),
             num_mip_variables=provisioning.num_variables,
@@ -447,44 +470,52 @@ class MerlinCompiler:
                 "removed predicates from later statements; run a full "
                 "compile() of the updated policy instead"
             )
-        total_start = time.perf_counter()
-        session = self._session
-        prepared_adds = self._validate_delta(session, delta)
-        engine = self._ensure_engine(session)
-        saved = session.checkpoint()
+        with telemetry.span(
+            "recompile",
+            kind="policy",
+            changes=delta.num_changes() if hasattr(delta, "num_changes") else 0,
+        ) as recompile_span:
+            session = self._session
+            prepared_adds = self._validate_delta(session, delta)
+            engine = self._ensure_engine(session)
+            saved = session.checkpoint()
+            telemetry.gauge("journal_depth", len(session.journal))
 
-        rateless_seconds = 0.0
-        try:
-            for identifier in delta.remove:
-                self._remove_statement(session, engine, identifier)
-            rateless_start = time.perf_counter()
-            for added in prepared_adds:
-                self._add_statement(session, engine, added)
-            for update in delta.update_rates:
-                self._update_rates(session, engine, update)
-            if delta.remove or delta.add:
-                self._refresh_catch_all(session)
-            self._refresh_sink_trees(session)
-            rateless_seconds += time.perf_counter() - rateless_start
-            result = self._finalize_recompile(
-                session, total_start, rateless_seconds
-            )
-        except Exception:
-            # The delta was already applied to the session/engine when the
-            # failure surfaced (an infeasible solve, a code-generation
-            # error).  Roll back to the checkpoint: the session is restored
-            # to its exact pre-delta state — statement population, rates,
-            # sink trees, cached component solutions, incumbents, revision
-            # counter — so it keeps matching the last result the caller
-            # successfully received, and the next recompile() proceeds
-            # normally.  Callers that withdraw on error (the negotiator)
-            # need only revert their own policy.
-            session.restore(saved)
-            raise
-        finally:
-            # Commit (or, after a rollback, retire the still-live mark):
-            # drops the checkpoint and truncates the undo journal.
-            session.release(saved)
+            rateless_seconds = 0.0
+            try:
+                for identifier in delta.remove:
+                    self._remove_statement(session, engine, identifier)
+                with telemetry.span("rateless") as rateless_span:
+                    for added in prepared_adds:
+                        self._add_statement(session, engine, added)
+                    for update in delta.update_rates:
+                        self._update_rates(session, engine, update)
+                    if delta.remove or delta.add:
+                        self._refresh_catch_all(session)
+                    self._refresh_sink_trees(session)
+                rateless_seconds += rateless_span.duration
+                result = self._finalize_recompile(session, rateless_seconds)
+            except Exception:
+                # The delta was already applied to the session/engine when the
+                # failure surfaced (an infeasible solve, a code-generation
+                # error).  Roll back to the checkpoint: the session is restored
+                # to its exact pre-delta state — statement population, rates,
+                # sink trees, cached component solutions, incumbents, revision
+                # counter — so it keeps matching the last result the caller
+                # successfully received, and the next recompile() proceeds
+                # normally.  Callers that withdraw on error (the negotiator)
+                # need only revert their own policy.
+                recompile_span.annotate(rolled_back=True)
+                telemetry.counter("transactions_rolled_back")
+                session.restore(saved)
+                raise
+            else:
+                telemetry.counter("transactions_committed")
+            finally:
+                # Commit (or, after a rollback, retire the still-live mark):
+                # drops the checkpoint and truncates the undo journal.
+                session.release(saved)
+        result.statistics.total_seconds = recompile_span.duration
         return result
 
     def _noop_result(self, session) -> CompilationResult:
@@ -539,50 +570,61 @@ class MerlinCompiler:
         topology, logical topologies, engine state — back to the
         pre-delta checkpoint.
         """
-        total_start = time.perf_counter()
+        with telemetry.span("recompile", kind="topology") as recompile_span:
+            result = self._recompile_topology_in_span(delta, recompile_span)
+        result.statistics.total_seconds = recompile_span.duration
+        return result
+
+    def _recompile_topology_in_span(self, delta, recompile_span) -> CompilationResult:
         session = self._session
         engine = self._ensure_engine(session)
         self._validate_topology_delta(session, delta)
         saved = session.checkpoint()
+        telemetry.gauge("journal_depth", len(session.journal))
         try:
-            rateless_start = time.perf_counter()
-            failed_links = set(session.failed_links)
-            failed_links.update(delta.fail_links)
-            failed_links.difference_update(delta.recover_links)
-            failed_nodes = set(session.failed_nodes)
-            failed_nodes.update(delta.fail_nodes)
-            failed_nodes.difference_update(delta.recover_nodes)
-            active = (
-                self.topology.without(links=failed_links, nodes=failed_nodes)
-                if failed_links or failed_nodes
-                else self.topology
-            )
-            journal = session.journal
-            journal.set_attr(session, "active_topology", active)
-            journal.set_attr(session, "failed_links", frozenset(failed_links))
-            journal.set_attr(session, "failed_nodes", frozenset(failed_nodes))
-            # Cached products were built against the previous active
-            # topology; the (path, endpoints) keys do not encode it.  The
-            # rebind is journaled (rollback reinstates the old cache dict);
-            # entries added to the fresh dict inside this transaction are
-            # simply discarded with it.
-            journal.set_attr(session, "logical_cache", {})
-            engine.set_topology(active)
-            self._rebuild_affected(session, engine, active, self._changed_links(delta))
-            if session.sink_trees:
-                # Population unchanged, so *whether* sink trees are needed
-                # is unchanged — but their routes must follow the active
-                # fabric.
-                journal.set_attr(session, "sink_trees", compute_sink_trees(active))
-            rateless_seconds = time.perf_counter() - rateless_start
-            result = self._finalize_recompile(
-                session, total_start, rateless_seconds
-            )
+            with telemetry.span("rateless") as rateless_span:
+                failed_links = set(session.failed_links)
+                failed_links.update(delta.fail_links)
+                failed_links.difference_update(delta.recover_links)
+                failed_nodes = set(session.failed_nodes)
+                failed_nodes.update(delta.fail_nodes)
+                failed_nodes.difference_update(delta.recover_nodes)
+                active = (
+                    self.topology.without(links=failed_links, nodes=failed_nodes)
+                    if failed_links or failed_nodes
+                    else self.topology
+                )
+                journal = session.journal
+                journal.set_attr(session, "active_topology", active)
+                journal.set_attr(session, "failed_links", frozenset(failed_links))
+                journal.set_attr(session, "failed_nodes", frozenset(failed_nodes))
+                # Cached products were built against the previous active
+                # topology; the (path, endpoints) keys do not encode it.  The
+                # rebind is journaled (rollback reinstates the old cache dict);
+                # entries added to the fresh dict inside this transaction are
+                # simply discarded with it.
+                journal.set_attr(session, "logical_cache", {})
+                engine.set_topology(active)
+                self._rebuild_affected(
+                    session, engine, active, self._changed_links(delta)
+                )
+                if session.sink_trees:
+                    # Population unchanged, so *whether* sink trees are
+                    # needed is unchanged — but their routes must follow
+                    # the active fabric.
+                    journal.set_attr(
+                        session, "sink_trees", compute_sink_trees(active)
+                    )
+            result = self._finalize_recompile(session, rateless_span.duration)
         except Exception:
             # Same transaction discipline as the policy path; the engine
             # journal recorded set_topology(), so restore() also reverts it.
+            recompile_span.annotate(rolled_back=True)
+            telemetry.counter("transactions_rolled_back")
             session.restore(saved)
             raise
+        else:
+            telemetry.counter("transactions_committed")
         finally:
             session.release(saved)
         return result
@@ -696,7 +738,7 @@ class MerlinCompiler:
                     )
 
     def _finalize_recompile(
-        self, session, total_start: float, rateless_seconds: float
+        self, session, rateless_seconds: float
     ) -> CompilationResult:
         """Solve, regenerate, and package the post-delta result.
 
@@ -731,16 +773,16 @@ class MerlinCompiler:
         codegen_seconds = 0.0
         instructions = None
         if self.generate_code:
-            codegen_start = time.perf_counter()
-            instructions = CodeGenerator(topology=active).generate(
-                policy,
-                paths,
-                rates,
-                session.sink_trees,
-                endpoints=session.endpoints,
-                infeasible_statements=tuple(session.infeasible),
-            )
-            codegen_seconds = time.perf_counter() - codegen_start
+            with telemetry.span("codegen") as codegen_span:
+                instructions = CodeGenerator(topology=active).generate(
+                    policy,
+                    paths,
+                    rates,
+                    session.sink_trees,
+                    endpoints=session.endpoints,
+                    infeasible_statements=tuple(session.infeasible),
+                )
+            codegen_seconds = codegen_span.duration
 
         guaranteed = [
             identifier
@@ -752,7 +794,9 @@ class MerlinCompiler:
             lp_solve_seconds=provisioning.lp_solve_seconds,
             rateless_seconds=rateless_seconds,
             codegen_seconds=codegen_seconds,
-            total_seconds=time.perf_counter() - total_start,
+            # Span-derived: the recompile paths overwrite this with the
+            # ``recompile`` span's duration once the span closes.
+            total_seconds=0.0,
             num_statements=len(session.statements),
             num_guaranteed_statements=len(guaranteed),
             num_mip_variables=provisioning.num_variables,
@@ -1299,6 +1343,7 @@ class MerlinCompiler:
         key = (statement.path, source, destination)
         cached = cache.pop(key, None)
         if cached is None:
+            telemetry.counter("logical_memo_misses")
             fresh = True
             build_on = topology if topology is not None else self.topology
             cached = build_logical_topology(
@@ -1314,6 +1359,7 @@ class MerlinCompiler:
                 ),
             )
         else:
+            telemetry.counter("logical_memo_hits")
             fresh = False
         cache[key] = cached  # (re)insert as most recently used
         while len(cache) > self._LOGICAL_CACHE_LIMIT:

@@ -51,10 +51,10 @@ monolithic model instead.
 from __future__ import annotations
 
 import enum
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import ProvisioningError
 from ..lp.backends import backend_name
 from ..lp.constraint import Constraint
@@ -204,19 +204,23 @@ def provision(
         )
 
     solver = options.backend()
-    construction_start = time.perf_counter()
-    built = build_provisioning_model(
-        statements, logical_topologies, rates, topology, heuristic=heuristic
-    )
-    model = built.model
-    edge_variables = built.edge_variables
-    reservation_fraction = built.reservation_fraction
-    links = topology.links()
-    lp_construction_seconds = time.perf_counter() - construction_start
+    with telemetry.span("build_model", statements=len(statements)) as build_span:
+        built = build_provisioning_model(
+            statements, logical_topologies, rates, topology, heuristic=heuristic
+        )
+        model = built.model
+        edge_variables = built.edge_variables
+        reservation_fraction = built.reservation_fraction
+        links = topology.links()
+    lp_construction_seconds = build_span.duration
 
-    solve_start = time.perf_counter()
-    result = model.solve(solver)
-    lp_solve_seconds = time.perf_counter() - solve_start
+    with telemetry.span("monolithic_solve") as solve_span:
+        result = model.solve(solver)
+        solve_span.annotate(
+            backend=str(result.statistics.get("backend", backend_name(solver))),
+            status=result.status.value,
+        )
+    lp_solve_seconds = solve_span.duration
     if not result.status.has_solution:
         raise ProvisioningError(
             "bandwidth provisioning is infeasible: the requested guarantees "

@@ -20,10 +20,10 @@ interesting output is the latency ratio as a function of delta size.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from .. import telemetry
 from ..core.ast import (
     BandwidthTerm,
     FMin,
@@ -279,16 +279,16 @@ def measure_reprovisioning(
         full_ms = float("inf")
         incremental = full = None
         for _ in range(max(1, repeats)):
-            started = time.perf_counter()
+            started = telemetry.clock()
             incremental = incremental_compiler.recompile(delta)
             incremental_ms = min(
-                incremental_ms, (time.perf_counter() - started) * 1000.0
+                incremental_ms, (telemetry.clock() - started) * 1000.0
             )
 
             fresh_compiler = _compiler(scenario.topology)
-            started = time.perf_counter()
+            started = telemetry.clock()
             full = fresh_compiler.compile(extended)
-            full_ms = min(full_ms, (time.perf_counter() - started) * 1000.0)
+            full_ms = min(full_ms, (telemetry.clock() - started) * 1000.0)
 
             # Revert so the next repeat (and the next delta size) starts
             # from the base policy again; exercises the removal path.

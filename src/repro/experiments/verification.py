@@ -16,10 +16,10 @@ nodes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+from .. import telemetry
 from ..core.ast import BandwidthTerm, FMax, Policy, Statement, formula_and
 from ..negotiator.verification import verify_refinement
 from ..predicates.ast import FieldTest, pred_and, pred_not, pred_or
@@ -41,9 +41,9 @@ class VerificationPoint:
 
 
 def _timed_verification(original: Policy, refined: Policy) -> VerificationPoint:
-    start = time.perf_counter()
+    start = telemetry.clock()
     report = verify_refinement(original, refined)
-    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    elapsed_ms = (telemetry.clock() - start) * 1000.0
     return VerificationPoint(size=0, verify_ms=elapsed_ms, valid=report.valid)
 
 

@@ -70,10 +70,10 @@ state instead of invalidating it.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..core.ast import Statement
 from ..core.localization import LocalRates
 from ..core.logical import (
@@ -578,36 +578,51 @@ class IncrementalProvisioner:
                 num_constraints=0,
             )
         def lookup(spec: PartitionSpec, slacks: Tuple[Optional[int], ...]):
-            return self._cache.get(self._signature_for(spec.statement_ids, slacks))
+            found = self._cache.get(
+                self._signature_for(spec.statement_ids, slacks)
+            )
+            if found is None:
+                telemetry.counter("component_cache_misses")
+            elif found is INFEASIBLE_COMPONENT:
+                telemetry.counter("component_cache_infeasible_hits")
+            else:
+                telemetry.counter("component_cache_hits")
+            return found
 
         warm_values = (
             self._last_values if self.options.warm_start != "off" else None
         )
-        outcome = solve_components_with_widening(
-            self._statements,
-            self._logical_full,
-            self._rates,
-            self._capacity_mbps,
-            self.heuristic,
-            solver=self.solver,
-            max_workers=self.max_workers,
-            footprint_slack=self.footprint_slack,
-            widen=self.options.widen_slack,
-            base_tightened=self._logical,
-            warm_values=warm_values,
-            lookup=lookup,
-        )
+        with telemetry.span(
+            "resolve", statements=len(self._statements)
+        ) as resolve_span:
+            outcome = solve_components_with_widening(
+                self._statements,
+                self._logical_full,
+                self._rates,
+                self._capacity_mbps,
+                self.heuristic,
+                solver=self.solver,
+                max_workers=self.max_workers,
+                footprint_slack=self.footprint_slack,
+                widen=self.options.widen_slack,
+                base_tightened=self._logical,
+                warm_values=warm_values,
+                lookup=lookup,
+            )
+            resolve_span.annotate(
+                partitions=len(outcome.specs), dirty=outcome.solver_calls
+            )
 
-        result = merge_partition_solutions(
-            outcome.solutions,
-            self._statements,
-            self._rates,
-            self.topology,
-            self.placements,
-            outcome.construction_seconds,
-            outcome.solve_seconds,
-            heuristic=self.heuristic,
-        )
+            result = merge_partition_solutions(
+                outcome.solutions,
+                self._statements,
+                self._rates,
+                self.topology,
+                self.placements,
+                outcome.construction_seconds,
+                outcome.solve_seconds,
+                heuristic=self.heuristic,
+            )
         result.solve_statistics["partitions_dirty"] = float(outcome.solver_calls)
         result.solve_statistics["partitions_reused"] = float(
             len(outcome.specs) - len(outcome.fresh)

@@ -28,11 +28,11 @@ variables are recomputed) before being handed to the solver backend.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..core.localization import LocalRates
 from ..core.logical import LogicalTopology, prune_to_cost_bound
 from ..core.options import _UNSET, ProvisionOptions, coalesce_options, widen_slack
@@ -101,6 +101,13 @@ class PartitionSolution:
     num_constraints: int = 0
     construction_seconds: float = 0.0
     solve_seconds: float = 0.0
+    #: The worker-side ``component_solve`` span, serialized
+    #: (``Span.to_payload`` shape).  Solves run in a process pool whose
+    #: workers cannot reach the parent's recorder; the payload rides back
+    #: with the solution and the consuming side re-parents it via
+    #: ``telemetry.adopt``.  ``solve_seconds`` above is this span's
+    #: duration — the wall time of the component solve.
+    span: Optional[Dict[str, object]] = None
     #: The footprint slack each member was tightened with when this
     #: component was solved, aligned with ``spec.statement_ids`` (``None``
     #: = untightened; empty for solutions predating slack widening).  Part
@@ -211,19 +218,36 @@ def _solve_model_payload(payload):
     """Process-pool worker: solve one component model.
 
     Takes ``(model, solver, warm_start)`` and returns a picklable tuple
-    ``(status value, values by variable name, objective, statistics)``.
+    ``(status value, values by variable name, objective, statistics,
+    span payload)``.  The span payload is the worker-side
+    ``component_solve`` timing in ``Span.to_payload`` form: workers have
+    no recorder (and their ``perf_counter`` origin is not comparable
+    across processes), so the parent re-anchors and re-parents it via
+    ``telemetry.adopt``.
     """
     model, solver, warm_start = payload
+    started = telemetry.clock()
     result = model.solve(solver, warm_start=warm_start)
+    duration = telemetry.clock() - started
     statistics = dict(result.statistics)
     # Which backend produced the numbers: the portfolio driver records the
     # winner itself; fixed backends are stamped with their declared name.
     statistics.setdefault("backend", backend_name(solver))
+    span_payload = {
+        "name": "component_solve",
+        "duration": duration,
+        "attributes": {
+            "backend": statistics.get("backend", ""),
+            "status": result.status.value,
+            "warm_started": warm_start is not None,
+        },
+    }
     return (
         result.status.value,
         result.values_by_name(),
         result.objective,
         statistics,
+        span_payload,
     )
 
 
@@ -232,13 +256,14 @@ def solve_partition_models(
     solver=None,
     warm_starts: Optional[Sequence[Optional[Mapping[str, float]]]] = None,
     max_workers: int = 0,
-) -> List[Tuple[str, Dict[str, float], Optional[float], Dict[str, float]]]:
+) -> List[Tuple[str, Dict[str, float], Optional[float], Dict[str, float], Dict[str, object]]]:
     """Solve component models, in-process or via a process pool.
 
-    Returns one ``(status, values_by_name, objective, statistics)`` tuple
-    per model, in input order.  The pool is only engaged when more than one
-    model is to be solved and ``max_workers`` allows it — a single dirty
-    component (the common 1-statement delta) never pays fork overhead.
+    Returns one ``(status, values_by_name, objective, statistics,
+    span payload)`` tuple per model, in input order.  The pool is only
+    engaged when more than one model is to be solved and ``max_workers``
+    allows it — a single dirty component (the common 1-statement delta)
+    never pays fork overhead.
     """
     if warm_starts is None:
         warm_starts = [None] * len(built_models)
@@ -266,12 +291,12 @@ def _raise_component_infeasible(spec: PartitionSpec, status_value: str) -> None:
 def extract_partition_solution(
     spec: PartitionSpec,
     built: ProvisioningModel,
-    outcome: Tuple[str, Dict[str, float], Optional[float], Dict[str, float]],
+    outcome: Tuple[str, Dict[str, float], Optional[float], Dict[str, float], Dict[str, object]],
     construction_seconds: float = 0.0,
     member_slacks: Tuple[Optional[int], ...] = (),
 ) -> PartitionSolution:
     """Read a component's solve outcome into a :class:`PartitionSolution`."""
-    status_value, values_by_name, objective, statistics = outcome
+    status_value, values_by_name, objective, statistics, span_payload = outcome
     status = SolveStatus(status_value)
     if not status.has_solution:
         _raise_component_infeasible(spec, status_value)
@@ -299,8 +324,16 @@ def extract_partition_solution(
         num_variables=built.model.num_variables(),
         num_constraints=built.model.num_constraints(),
         construction_seconds=construction_seconds,
-        solve_seconds=statistics.get("solve_seconds", 0.0),
+        # Span-derived: the component's solve wall time is the worker
+        # span's duration, not a parallel stopwatch.  Falls back to the
+        # backend's own measure for spanless (synthetic/test) outcomes.
+        solve_seconds=float(
+            (span_payload or {}).get(
+                "duration", statistics.get("solve_seconds", 0.0)
+            )
+        ),
         member_slacks=member_slacks,
+        span=span_payload,
     )
 
 
@@ -422,103 +455,135 @@ def solve_components_with_widening(
     # None); every round either terminates or widens some member, so the
     # loop is finite.  The guard is belt-and-braces.
     for _round in range(32):
-        round_start = time.perf_counter()
-        tightened: Dict[str, LogicalTopology] = {}
-        footprints: Dict[str, frozenset] = {}
-        for sid in statements_by_id:
-            slack = slack_by_id[sid]
-            cache_key = (sid, slack)
-            logical = tight_cache.get(cache_key)
-            if logical is None:
-                base = logical_topologies[sid]
-                logical = base if slack is None else prune_to_cost_bound(base, slack)
-                tight_cache[cache_key] = logical
-            footprint = footprint_cache.get(cache_key)
-            if footprint is None:
-                footprint = frozenset(logical.physical_links_used())
-                footprint_cache[cache_key] = footprint
-            tightened[sid] = logical
-            footprints[sid] = footprint
-        specs = partition_statements(footprints)
+        # The partition span covers everything before the solve — tighten,
+        # re-partition, cache lookups, model building, warm-start
+        # projection — matching what ``construction_seconds`` reports.
+        with telemetry.span("partition", round=_round) as partition_span:
+            tightened: Dict[str, LogicalTopology] = {}
+            footprints: Dict[str, frozenset] = {}
+            for sid in statements_by_id:
+                slack = slack_by_id[sid]
+                cache_key = (sid, slack)
+                logical = tight_cache.get(cache_key)
+                if logical is None:
+                    base = logical_topologies[sid]
+                    logical = base if slack is None else prune_to_cost_bound(base, slack)
+                    tight_cache[cache_key] = logical
+                footprint = footprint_cache.get(cache_key)
+                if footprint is None:
+                    footprint = frozenset(logical.physical_links_used())
+                    footprint_cache[cache_key] = footprint
+                tightened[sid] = logical
+                footprints[sid] = footprint
+            specs = partition_statements(footprints)
 
-        resolved: Dict[PartitionSpec, PartitionSolution] = {}
-        to_solve: List[Tuple[PartitionSpec, ComponentKey]] = []
-        widen_specs: List[PartitionSpec] = []
-        for spec in specs:
-            slacks = tuple(slack_by_id[sid] for sid in spec.statement_ids)
-            key = (spec.statement_ids, slacks)
-            if key in infeasible_local:
-                widen_specs.append(spec)
-                continue
-            solution = local.get(key)
-            if solution is None and lookup is not None:
-                found = lookup(spec, slacks)
-                if found is INFEASIBLE_COMPONENT:
-                    infeasible_local[key] = "infeasible"
+            resolved: Dict[PartitionSpec, PartitionSolution] = {}
+            to_solve: List[Tuple[PartitionSpec, ComponentKey]] = []
+            widen_specs: List[PartitionSpec] = []
+            for spec in specs:
+                slacks = tuple(slack_by_id[sid] for sid in spec.statement_ids)
+                key = (spec.statement_ids, slacks)
+                if key in infeasible_local:
                     widen_specs.append(spec)
                     continue
-                if found is not None:
-                    solution = found
-                    local[key] = solution
-            if solution is not None:
-                resolved[spec] = solution
-            else:
-                to_solve.append((spec, key))
-
-        if to_solve:
-            built_models: List[ProvisioningModel] = []
-            build_seconds: List[float] = []
-            for spec, _key in to_solve:
-                build_start = time.perf_counter()
-                built_models.append(
-                    build_partition_model(
-                        spec,
-                        statements_by_id,
-                        tightened,
-                        rates,
-                        capacity_mbps,
-                        heuristic,
-                    )
-                )
-                build_seconds.append(time.perf_counter() - build_start)
-            warm_starts = [
-                project_warm_start(built, warm_values) if seed_starts else None
-                for built in built_models
-            ]
-            construction_total += time.perf_counter() - round_start
-            solve_start = time.perf_counter()
-            outcomes = solve_partition_models(
-                built_models,
-                solver=solver,
-                warm_starts=warm_starts,
-                max_workers=max_workers,
-            )
-            solve_total += time.perf_counter() - solve_start
-            for (spec, key), built, outcome, seconds in zip(
-                to_solve, built_models, outcomes, build_seconds
-            ):
-                solver_calls += 1
-                status_value, _values, _objective, statistics = outcome
-                cpu_total += statistics.get("solve_seconds", 0.0)
-                if statistics.get("nodes") is not None:
-                    nodes_seen = True
-                    nodes_total += statistics.get("nodes") or 0.0
-                if SolveStatus(status_value).has_solution:
-                    solution = extract_partition_solution(
-                        spec, built, outcome, seconds, member_slacks=key[1]
-                    )
-                    local[key] = solution
-                    solved_keys.add(key)
-                    fresh_by_key[key] = solution
+                solution = local.get(key)
+                if solution is None and lookup is not None:
+                    found = lookup(spec, slacks)
+                    if found is INFEASIBLE_COMPONENT:
+                        infeasible_local[key] = "infeasible"
+                        widen_specs.append(spec)
+                        continue
+                    if found is not None:
+                        solution = found
+                        local[key] = solution
+                if solution is not None:
                     resolved[spec] = solution
                 else:
-                    if not widen:
-                        _raise_component_infeasible(spec, status_value)
-                    infeasible_local[key] = status_value
-                    discovered_infeasible.append(key)
-                    widen_specs.append(spec)
-        else:
-            construction_total += time.perf_counter() - round_start
+                    to_solve.append((spec, key))
+
+            built_models: List[ProvisioningModel] = []
+            build_seconds: List[float] = []
+            warm_starts: List[Optional[Dict[str, float]]] = []
+            for spec, _key in to_solve:
+                with telemetry.span("build_model") as build_span:
+                    built_models.append(
+                        build_partition_model(
+                            spec,
+                            statements_by_id,
+                            tightened,
+                            rates,
+                            capacity_mbps,
+                            heuristic,
+                        )
+                    )
+                build_seconds.append(build_span.duration)
+            for built in built_models:
+                if not seed_starts:
+                    warm_starts.append(None)
+                    continue
+                projected = project_warm_start(built, warm_values)
+                warm_starts.append(projected)
+                telemetry.counter(
+                    "warm_start_projected" if projected is not None
+                    else "warm_start_abandoned"
+                )
+            partition_span.annotate(
+                components=len(specs), to_solve=len(to_solve)
+            )
+        construction_total += partition_span.duration
+
+        if to_solve:
+            with telemetry.span("solve", components=len(to_solve)) as solve_span:
+                outcomes = solve_partition_models(
+                    built_models,
+                    solver=solver,
+                    warm_starts=warm_starts,
+                    max_workers=max_workers,
+                )
+                received = telemetry.clock()
+                for (spec, key), built, outcome, seconds in zip(
+                    to_solve, built_models, outcomes, build_seconds
+                ):
+                    solver_calls += 1
+                    status_value, _values, _objective, statistics, span_payload = outcome
+                    backend = str(statistics.get("backend", "")) or "unknown"
+                    telemetry.adopt(
+                        span_payload,
+                        end=received,
+                        members=",".join(spec.statement_ids),
+                    )
+                    telemetry.counter("solver_calls", backend=backend)
+                    telemetry.observe(
+                        "solve_seconds",
+                        float((span_payload or {}).get("duration", 0.0)),
+                        backend=backend,
+                    )
+                    if backend_name(solver) == "auto":
+                        telemetry.counter("portfolio_wins", backend=backend)
+                    if statistics.get("warm_start_used"):
+                        telemetry.counter("warm_start_accepted")
+                    if statistics.get("warm_start_rejected"):
+                        telemetry.counter("warm_start_rejected")
+                    cpu_total += statistics.get("solve_seconds", 0.0)
+                    if statistics.get("nodes") is not None:
+                        nodes_seen = True
+                        nodes_total += statistics.get("nodes") or 0.0
+                    if SolveStatus(status_value).has_solution:
+                        solution = extract_partition_solution(
+                            spec, built, outcome, seconds, member_slacks=key[1]
+                        )
+                        local[key] = solution
+                        solved_keys.add(key)
+                        fresh_by_key[key] = solution
+                        resolved[spec] = solution
+                    else:
+                        if not widen:
+                            _raise_component_infeasible(spec, status_value)
+                        telemetry.counter("components_infeasible")
+                        infeasible_local[key] = status_value
+                        discovered_infeasible.append(key)
+                        widen_specs.append(spec)
+            solve_total += solve_span.duration
 
         if not widen_specs:
             solutions = [resolved[spec] for spec in specs]
@@ -562,6 +627,7 @@ def solve_components_with_widening(
                     ),
                 )
             slack_retries += 1
+            telemetry.counter("slack_widening_retries")
             for sid in spec.statement_ids:
                 slack_by_id[sid] = widen_slack(slack_by_id[sid])
 

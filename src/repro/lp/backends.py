@@ -23,7 +23,6 @@ makes that contract explicit:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -37,6 +36,7 @@ from typing import (
     runtime_checkable,
 )
 
+from .. import telemetry
 from ..errors import SolverError
 from .branch_and_bound import BranchAndBoundSolver
 from .highs_backend import HighsSolver, highs_available
@@ -308,7 +308,7 @@ class AutoSolver:
     def solve(
         self, model: Model, warm_start: Optional[Mapping[str, float]] = None
     ) -> SolveResult:
-        started = time.perf_counter()
+        started = telemetry.clock()
         attempts: List[_Attempt] = []
         seeded = False
 
@@ -334,12 +334,14 @@ class AutoSolver:
                 node_limit=self.node_limit,
             )
             passed = seed if capabilities(backend).consumes_warm_starts else None
-            try:
-                result = backend.solve(model, warm_start=passed) if passed else (
-                    backend.solve(model)
-                )
-            except SolverError:
-                result = SolveResult(status=SolveStatus.ERROR)
+            with telemetry.span("portfolio_attempt", backend=name) as attempt_span:
+                try:
+                    result = backend.solve(model, warm_start=passed) if passed else (
+                        backend.solve(model)
+                    )
+                except SolverError:
+                    result = SolveResult(status=SolveStatus.ERROR)
+                attempt_span.annotate(status=result.status.value)
             attempts.append(_Attempt(priority, name, result))
             if result.status in (
                 SolveStatus.OPTIMAL,
@@ -367,7 +369,7 @@ class AutoSolver:
         winner.result.statistics["auto_candidates"] = float(len(attempts))
         if seeded:
             winner.result.statistics["auto_seeded"] = 1.0
-        winner.result.statistics["solve_seconds"] = time.perf_counter() - started
+        winner.result.statistics["solve_seconds"] = telemetry.clock() - started
         return winner.result
 
     @staticmethod

@@ -17,12 +17,12 @@ when the import is absent.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Mapping, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
+from .. import telemetry
 from ..errors import SolverError
 from .branch_and_bound import BranchAndBoundSolver
 from .model import Model, StandardForm
@@ -76,7 +76,7 @@ class HighsSolver:
         self, model: Model, warm_start: Optional[Mapping[str, float]] = None
     ) -> SolveResult:
         form = model.to_standard_form(sparse=self.sparse)
-        started = time.perf_counter()
+        started = telemetry.clock()
         highs = _highspy.Highs()
         highs.setOptionValue("output_flag", False)
         highs.setOptionValue("mip_rel_gap", self.mip_gap)
@@ -106,7 +106,7 @@ class HighsSolver:
                 statistics["warm_start_rejected"] = 1.0
 
         highs.run()
-        statistics["solve_seconds"] = time.perf_counter() - started
+        statistics["solve_seconds"] = telemetry.clock() - started
         return self._wrap(highs, form, statistics)
 
     # -- internals ---------------------------------------------------------------

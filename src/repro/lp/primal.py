@@ -36,10 +36,10 @@ from __future__ import annotations
 
 import heapq
 import math
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from .. import telemetry
 from ..errors import SolverError
 from .constraint import Sense
 from .expr import Variable
@@ -390,7 +390,7 @@ class PrimalHeuristicSolver:
         Raises :class:`SolverError` when the model is not a provisioning
         path model — the structural decode, not the search, is what fails.
         """
-        started = time.perf_counter()
+        started = telemetry.clock()
         problem = _decode_provisioning_model(model)
         deadline = (
             started + self.time_limit_seconds
@@ -420,7 +420,7 @@ class PrimalHeuristicSolver:
                 return SolveResult(
                     status=SolveStatus.ERROR,
                     statistics={
-                        "solve_seconds": time.perf_counter() - started,
+                        "solve_seconds": telemetry.clock() - started,
                         "heuristic_unroutable": 1.0,
                     },
                 )
@@ -435,7 +435,7 @@ class PrimalHeuristicSolver:
         # Phase 2: improvement / perturbation loop.
         rounds = 0
         while rounds < self.max_rounds:
-            if deadline is not None and time.perf_counter() > deadline:
+            if deadline is not None and telemetry.clock() > deadline:
                 break
             rounds += 1
             if self._improve_once(problem, chosen):
@@ -524,7 +524,7 @@ class PrimalHeuristicSolver:
         candidate = dict(chosen)
         candidate[identifier] = path
         for _ in range(3):
-            if deadline is not None and time.perf_counter() > deadline:
+            if deadline is not None and telemetry.clock() > deadline:
                 break
             if not self._improve_once(problem, candidate):
                 break
@@ -570,7 +570,7 @@ class PrimalHeuristicSolver:
             values[problem.big_r_max] = max_reserved
 
         statistics: Dict[str, float] = {
-            "solve_seconds": time.perf_counter() - started,
+            "solve_seconds": telemetry.clock() - started,
             "num_variables": float(model.num_variables()),
             "num_integer_variables": float(model.num_integer_variables()),
             "heuristic_rounds": float(rounds),

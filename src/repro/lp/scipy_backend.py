@@ -23,13 +23,13 @@ warm starts must actually seed the search.
 
 from __future__ import annotations
 
-import time
 import warnings
 from typing import Mapping, Optional
 
 import numpy as np
 from scipy import optimize, sparse
 
+from .. import telemetry
 from .model import Model, StandardForm
 from .result import SolveResult, SolveStatus
 
@@ -66,12 +66,12 @@ class ScipySolver:
     ) -> SolveResult:
         """Solve the model, returning a :class:`SolveResult`."""
         form = model.to_standard_form(sparse=self.sparse)
-        started = time.perf_counter()
+        started = telemetry.clock()
         if form.integrality.any():
             result = self._solve_milp(form)
         else:
             result = self._solve_lp(form)
-        result.statistics["solve_seconds"] = time.perf_counter() - started
+        result.statistics["solve_seconds"] = telemetry.clock() - started
         result.statistics["num_variables"] = len(form.variables)
         result.statistics["num_integer_variables"] = int(form.integrality.sum())
         if warm_start is not None:

@@ -29,10 +29,10 @@ history.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from .. import telemetry
 from ..analysis.reporting import format_percentiles, percentile
 from ..core.allocation import CompilationResult
 from ..core.compiler import MerlinCompiler
@@ -233,11 +233,19 @@ def replay(
     last_result: Optional[CompilationResult] = None
 
     for event in scenario.events:
-        start = time.perf_counter()
-        try:
-            result = session.apply(event)
-        except MerlinError as error:
-            latency_ms = (time.perf_counter() - start) * 1000.0
+        # Per-event latency is the ``scenario_event`` span's duration —
+        # deterministic under an injected telemetry clock, traced (with
+        # the recompile transaction nested inside) when a recorder is on.
+        error: Optional[MerlinError] = None
+        with telemetry.span("scenario_event", kind=event.kind) as event_span:
+            try:
+                result = session.apply(event)
+            except MerlinError as caught:
+                error = caught
+        latency_ms = event_span.duration * 1000.0
+        telemetry.observe("event_latency_ms", latency_ms, kind=event.kind)
+        if error is not None:
+            telemetry.counter("events_rejected")
             report.rollbacks += 1
             if not compiler.has_session:
                 report.invalidations += 1
@@ -254,7 +262,7 @@ def replay(
             if not compiler.has_session:
                 break  # the session is gone; nothing left to replay against
             continue
-        latency_ms = (time.perf_counter() - start) * 1000.0
+        telemetry.counter("events_applied")
         last_result = result
         statistics = result.statistics
         availability, consistent = 1.0, True

@@ -29,6 +29,16 @@ Deltas for *different* groups run concurrently (one worker each); deltas
 for one group serialize through its queue, which is what makes batching
 safe.  The control plane must be used from within a single running event
 loop — ``async with ControlPlane() as plane: ...`` is the intended shape.
+
+The daemon carries its own :class:`~repro.telemetry.Telemetry` bundle
+(metrics-only by default, sharing the injected ``clock``): every batch
+executes inside a ``batch`` span that covers queue-wait accounting, delta
+merging, the recompile transaction, and the commit, so the compiler's own
+spans and counters nest under it (``asyncio.to_thread`` copies the
+context).  ``metrics()`` freezes the registry into a
+:class:`~repro.telemetry.MetricsSnapshot` — the operational counterpart
+of :class:`~repro.service.state.GroupState` — without touching the live
+sessions.
 """
 
 from __future__ import annotations
@@ -37,9 +47,11 @@ import asyncio
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import telemetry as _telemetry
 from ..core.compiler import MerlinCompiler
 from ..errors import ProvisioningError
 from ..incremental.delta import PolicyDelta, merge_policy_deltas
+from ..telemetry import MetricsRegistry, MetricsSnapshot, Telemetry
 from .admission import AdmissionPolicy, TenantGate
 from .state import BatchRecord, GroupState, StatementState, TenantStats, statement_states
 
@@ -58,14 +70,22 @@ class Ticket:
     here; the group's committed state is untouched by the failure.
     """
 
-    __slots__ = ("group", "tenant", "delta", "_future")
+    __slots__ = ("group", "tenant", "delta", "submitted_at", "_future")
 
     def __init__(
-        self, group: str, tenant: str, delta: object, future: "asyncio.Future"
+        self,
+        group: str,
+        tenant: str,
+        delta: object,
+        future: "asyncio.Future",
+        submitted_at: float = 0.0,
     ) -> None:
         self.group = group
         self.tenant = tenant
         self.delta = delta
+        #: Control-plane clock reading at ``submit``; the batch span
+        #: subtracts it to observe this ticket's queue wait.
+        self.submitted_at = submitted_at
         self._future = future
 
     async def result(self):
@@ -108,8 +128,11 @@ class ControlPlane:
 
     ``admission`` is the default :class:`AdmissionPolicy` for every group
     (overridable per group at ``open_group``); ``clock`` feeds the
-    admission token buckets and exists to be replaced in tests;
-    ``max_batch`` caps how many queued deltas one transaction may absorb.
+    admission token buckets *and* the daemon's telemetry bundle, and
+    exists to be replaced in tests; ``max_batch`` caps how many queued
+    deltas one transaction may absorb.  Pass ``telemetry`` to trace
+    batches too (e.g. ``Telemetry.recording(clock=clock)``); the default
+    is metrics-only, queryable via :meth:`metrics`.
     """
 
     def __init__(
@@ -118,12 +141,18 @@ class ControlPlane:
         admission: Optional[AdmissionPolicy] = None,
         clock: Callable[[], float] = time.monotonic,
         max_batch: int = 16,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         self._admission = admission if admission is not None else AdmissionPolicy()
         self._clock = clock
         self._max_batch = max_batch
+        self._telemetry = (
+            telemetry
+            if telemetry is not None
+            else Telemetry(metrics=MetricsRegistry(), clock=clock)
+        )
         self._groups: Dict[str, _Group] = {}
         self._started = False
         self._closing = False
@@ -195,7 +224,11 @@ class ControlPlane:
                 options=options,
                 **compiler_kwargs,
             )
-        result = await asyncio.to_thread(compiler.compile, policy)
+        with self._telemetry.use():
+            # to_thread copies the context, so the compile's spans and
+            # counters land in this plane's bundle.
+            result = await asyncio.to_thread(compiler.compile, policy)
+            _telemetry.counter("groups_opened")
         group = _Group(
             name,
             compiler,
@@ -230,13 +263,18 @@ class ControlPlane:
             gate = group.gates[tenant] = TenantGate(
                 group.admission, clock=self._clock
             )
+        metrics = self._telemetry.metrics
         try:
             gate.admit(tenant)
         except Exception:
             counters["rejected"] += 1
+            if metrics is not None:
+                metrics.counter("admission_rejected", group=name, tenant=tenant)
             raise
+        if metrics is not None:
+            metrics.counter("admission_admitted", group=name, tenant=tenant)
         future = asyncio.get_running_loop().create_future()
-        ticket = Ticket(name, tenant, delta, future)
+        ticket = Ticket(name, tenant, delta, future, submitted_at=self._clock())
         group.queue.put_nowait(ticket)
         return ticket
 
@@ -261,6 +299,18 @@ class ControlPlane:
                 for tenant, counts in group.counters.items()
             },
         )
+
+    def metrics(self) -> MetricsSnapshot:
+        """A frozen snapshot of the daemon's metrics registry.
+
+        The operational sibling of :meth:`query`: admission decisions,
+        queue waits, batch sizes and outcomes, plus everything the
+        compiler and solver backends counted while running inside the
+        plane's batches (cache hits, slack retries, per-backend solve
+        seconds, ...).  Empty when the plane was built with a
+        metrics-less :class:`~repro.telemetry.Telemetry`.
+        """
+        return self._telemetry.snapshot()
 
     def statement_state(self, name: str, identifier: str) -> StatementState:
         group = self._group(name)
@@ -324,31 +374,78 @@ class ControlPlane:
         return runs
 
     async def _execute(self, group: _Group, run: List[Ticket]) -> None:
-        if len(run) == 1:
-            ticket = run[0]
-            try:
-                result = await asyncio.to_thread(group.handle.apply, ticket.delta)
-            except Exception as exc:
-                self._fail(group, ticket, exc)
-            else:
-                self._commit(group, run, result, merged=False)
-            return
-        merged = merge_policy_deltas([ticket.delta for ticket in run])
-        try:
-            result = await asyncio.to_thread(group.handle.apply, merged)
-        except Exception:
-            # The merged transaction rolled back to pre-batch state; retry
-            # each member alone so only the actual offender fails.
+        retry = False
+        with self._telemetry.use():
+            with _telemetry.span(
+                "batch", group=group.name, deltas=len(run), merged=len(run) > 1
+            ) as batch_span:
+                # Queue wait: submit() to this batch span opening, on the
+                # plane's clock.  A ticket retried after a merged-batch
+                # failure is observed again with its longer wait — its
+                # individual execution really did start that much later.
+                waits = tuple(
+                    max(0.0, batch_span.start - ticket.submitted_at)
+                    for ticket in run
+                )
+                for wait in waits:
+                    _telemetry.observe("queue_wait_seconds", wait, group=group.name)
+                if len(run) == 1:
+                    ticket = run[0]
+                    try:
+                        result = await asyncio.to_thread(
+                            group.handle.apply, ticket.delta
+                        )
+                    except Exception as exc:
+                        batch_span.annotate(error=type(exc).__name__)
+                        _telemetry.counter("batches_failed", group=group.name)
+                        self._fail(group, ticket, exc)
+                    else:
+                        self._commit(
+                            group,
+                            run,
+                            result,
+                            merged=False,
+                            started=batch_span.start,
+                            queue_waits=waits,
+                        )
+                    return
+                with _telemetry.span("merge", deltas=len(run)):
+                    merged = merge_policy_deltas([ticket.delta for ticket in run])
+                try:
+                    result = await asyncio.to_thread(group.handle.apply, merged)
+                except Exception:
+                    # The merged transaction rolled back to pre-batch state;
+                    # retry each member alone (outside this span, as its own
+                    # batch) so only the actual offender fails.
+                    batch_span.annotate(retried_individually=True)
+                    _telemetry.counter("batch_splits", group=group.name)
+                    retry = True
+                else:
+                    self._commit(
+                        group,
+                        run,
+                        result,
+                        merged=True,
+                        started=batch_span.start,
+                        queue_waits=waits,
+                    )
+        if retry:
             for ticket in run:
                 await self._execute(group, [ticket])
-        else:
-            self._commit(group, run, result, merged=True)
 
     def _commit(
-        self, group: _Group, run: List[Ticket], result, merged: bool
+        self,
+        group: _Group,
+        run: List[Ticket],
+        result,
+        merged: bool,
+        started: float = 0.0,
+        queue_waits: Tuple[float, ...] = (),
     ) -> None:
         group.revision += 1
         group.statements = statement_states(result)
+        _telemetry.counter("batches_committed", group=group.name)
+        _telemetry.observe("batch_deltas", float(len(run)), group=group.name)
         group.last_batch = BatchRecord(
             revision=group.revision,
             tenants=tuple(ticket.tenant for ticket in run),
@@ -360,6 +457,8 @@ class ControlPlane:
             ),
             merged=merged,
             statistics=result.statistics,
+            execute_seconds=max(0.0, self._clock() - started),
+            queue_wait_seconds=queue_waits,
         )
         for ticket in run:
             group.tenant_counters(ticket.tenant)["committed"] += 1

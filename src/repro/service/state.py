@@ -46,7 +46,10 @@ class BatchRecord:
     ``num_deltas`` > 1 with ``merged`` True is the observable proof that
     concurrently-submitted tenant deltas were batched into a single solve:
     ``statistics`` is the one :class:`CompilationStatistics` the whole
-    batch produced.
+    batch produced.  ``execute_seconds`` is the duration of the batch's
+    telemetry span (merge + solve + commit, on the control plane's clock);
+    ``queue_wait_seconds`` holds each member ticket's wait between
+    ``submit`` and the batch span opening, in submission order.
     """
 
     revision: int
@@ -55,6 +58,8 @@ class BatchRecord:
     num_changes: int
     merged: bool
     statistics: CompilationStatistics
+    execute_seconds: float = 0.0
+    queue_wait_seconds: Tuple[float, ...] = ()
 
     @property
     def backends(self) -> Tuple[str, ...]:

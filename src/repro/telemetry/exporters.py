@@ -1,0 +1,122 @@
+"""Exporters: Prometheus-style text exposition and console summaries.
+
+These render already-frozen data (:class:`MetricsSnapshot`, lists of
+:class:`SpanRecord`) so they can run anywhere — a daemon's admin
+endpoint, a benchmark report block, a test assertion — without touching
+live registries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Sequence
+
+from .metrics import HistogramSummary, MetricsSnapshot, split_key
+from .spans import SpanRecord
+
+__all__ = ["render_trace", "summarize_trace", "to_prometheus"]
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    return _NAME_SANITIZER.sub("_", name)
+
+
+def _prom_key(key: str, extra: Dict[str, str] = None) -> str:
+    """Re-render a registry key for exposition, optionally adding labels."""
+    name, labels = split_key(key)
+    merged = list(labels) + sorted((extra or {}).items())
+    if not merged:
+        return _prom_name(name)
+    body = ",".join('%s="%s"' % (label, value) for label, value in merged)
+    return "%s{%s}" % (_prom_name(name), body)
+
+
+def to_prometheus(snapshot: MetricsSnapshot, prefix: str = "repro_") -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Histograms are exposed as quantile gauges plus ``_count``/``_sum``
+    series (the *summary* metric type), which is what a percentile
+    registry can honestly serve without fixed buckets.
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def type_line(key: str, kind: str) -> None:
+        name, _ = split_key(key)
+        full = prefix + _prom_name(name)
+        if seen_types.get(full) != kind:
+            seen_types[full] = kind
+            lines.append("# TYPE %s %s" % (full, kind))
+
+    for key in sorted(snapshot.counters):
+        type_line(key, "counter")
+        lines.append("%s%s %g" % (prefix, _prom_key(key), snapshot.counters[key]))
+    for key in sorted(snapshot.gauges):
+        type_line(key, "gauge")
+        lines.append("%s%s %g" % (prefix, _prom_key(key), snapshot.gauges[key]))
+    for key in sorted(snapshot.histograms):
+        summary = snapshot.histograms[key]
+        type_line(key, "summary")
+        name, labels = split_key(key)
+        base = prefix + _prom_name(name)
+        label_body = ",".join('%s="%s"' % (k, v) for k, v in labels)
+        suffix = "{%s}" % label_body if label_body else ""
+        for quantile, value in (
+            ("0.5", summary.p50),
+            ("0.95", summary.p95),
+            ("0.99", summary.p99),
+        ):
+            lines.append(
+                "%s %g" % (prefix + _prom_key(key, {"quantile": quantile}), value)
+            )
+        lines.append("%s_count%s %d" % (base, suffix, summary.count))
+        lines.append("%s_sum%s %g" % (base, suffix, summary.total))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_trace(
+    spans: Sequence[SpanRecord], unit_scale: float = 1000.0, unit: str = "ms"
+) -> str:
+    """Render a span list as an indented console tree, children in
+    start order under their parents::
+
+        compile                          12.41ms
+          partition                       0.52ms
+          component_solve backend=bnb     3.90ms
+    """
+    by_parent: Dict[object, List[SpanRecord]] = {}
+    for span in spans:
+        by_parent.setdefault(span.parent_id, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda span: (span.start, span.span_id))
+
+    lines: List[str] = []
+
+    def walk(parent_id, depth: int) -> None:
+        for span in by_parent.get(parent_id, ()):  # pragma: no branch
+            attrs = " ".join(
+                "%s=%s" % (key, value)
+                for key, value in sorted((span.attributes or {}).items())
+            )
+            label = span.name + (" " + attrs if attrs else "")
+            lines.append(
+                "%s%-48s %10.3f%s"
+                % ("  " * depth, label, span.duration * unit_scale, unit)
+            )
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def summarize_trace(spans: Iterable[SpanRecord]) -> Dict[str, HistogramSummary]:
+    """Aggregate span durations by name into histogram summaries."""
+    by_name: Dict[str, List[float]] = {}
+    for span in spans:
+        by_name.setdefault(span.name, []).append(span.duration)
+    return {
+        name: HistogramSummary.from_values(values)
+        for name, values in sorted(by_name.items())
+    }
