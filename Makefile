@@ -1,6 +1,6 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test check lint-clock bench bench-smoke bench-reprovision bench-churn bench-checkpoint bench-portfolio bench-telemetry
+.PHONY: test check lint-clock lint-pool bench bench-smoke bench-reprovision bench-churn bench-checkpoint bench-portfolio bench-telemetry bench-fabric
 
 # Tier-1 verification: the full unit + benchmark suite at quick scale.
 test:
@@ -8,11 +8,11 @@ test:
 
 # CI gate: tier-1 tests plus a byte-compile of the whole source tree
 # (catches syntax errors in modules the suite does not import), the
-# telemetry clock lint and disabled-overhead guard, the seeded churn
-# replay (zero session invalidations under failures), and the
-# checkpoint-scale guard (per-delta checkpoint cost stays O(delta)
-# between the 1k and 100k statement populations).
-check: lint-clock
+# telemetry clock and process-pool lints, the disabled-overhead guard,
+# the seeded churn replay (zero session invalidations under failures),
+# and the checkpoint-scale guard (per-delta checkpoint cost stays
+# O(delta) between the 1k and 100k statement populations).
+check: lint-clock lint-pool
 	$(PYTEST) -x -q
 	python -m compileall -q src
 	$(PYTEST) -q benchmarks/test_telemetry_overhead.py
@@ -26,6 +26,17 @@ check: lint-clock
 lint-clock:
 	@if grep -rn "time\.perf_counter" src/repro --include="*.py" | grep -v "^src/repro/telemetry/"; then \
 		echo "bare time.perf_counter() found; use repro.telemetry.clock()"; \
+		exit 1; \
+	fi
+
+# Component solves must run on the persistent solve fabric: a bare
+# ProcessPoolExecutor anywhere in src/repro outside repro/fabric/
+# reintroduces per-call worker spin-up and dodges the fabric's crash
+# containment (tests/fabric/test_pool_lint.py enforces the same rule
+# under pytest).
+lint-pool:
+	@if grep -rn "ProcessPoolExecutor(" src/repro --include="*.py" | grep -v "^src/repro/fabric/"; then \
+		echo "bare ProcessPoolExecutor construction found; use repro.fabric.SolveFabric"; \
 		exit 1; \
 	fi
 
@@ -80,3 +91,11 @@ bench-checkpoint:
 # compile wall time (writes benchmarks/results/telemetry_overhead.txt).
 bench-telemetry:
 	$(PYTEST) -q benchmarks/test_telemetry_overhead.py
+
+# Solve-fabric guard: on the pod-tenant workload, a warm-cache re-sweep
+# must be >= 3x faster than the cold sweep with byte-identical
+# allocations (every component served from the content-addressed cache),
+# and reusing one persistent SolveFabric across calls must beat per-call
+# pool spin-up (writes benchmarks/results/fabric.txt).
+bench-fabric:
+	$(PYTEST) -q benchmarks/test_fabric.py

@@ -23,7 +23,12 @@ with ``PolicyDelta`` / ``TopologyDelta`` / ``ScenarioEvent`` to stream
 changes at a live compile, and ``ControlPlane`` + ``AdmissionPolicy`` to run
 the compiler as a multi-tenant provisioning service.  ``Telemetry`` (and
 the :mod:`repro.telemetry` module) adds scoped tracing and metrics over
-all of it — ``with Telemetry.recording().use(): ...``.
+all of it — ``with Telemetry.recording().use(): ...``.  ``SolveFabric``
+and ``ComponentSolutionCache`` (the :mod:`repro.fabric` layer) make
+repeated provisioning fast: one persistent worker pool and one
+content-addressed component-solution cache shared across compiles, sweeps,
+and control-plane tenants via ``ProvisionOptions(fabric=...,
+component_cache=..)``.
 """
 
 from .core import (
@@ -37,6 +42,7 @@ from .core import (
     compile_policy,
     parse_policy,
 )
+from .fabric import ComponentSolutionCache, SolveFabric
 from .incremental import PolicyDelta, RateUpdate, TopologyDelta, policy_delta
 from .negotiator import Negotiator, delegate, verify_refinement
 from .scenarios import ScenarioEvent
@@ -67,6 +73,8 @@ __all__ = [
     "Statement",
     "compile_policy",
     "parse_policy",
+    "ComponentSolutionCache",
+    "SolveFabric",
     "PolicyDelta",
     "RateUpdate",
     "TopologyDelta",

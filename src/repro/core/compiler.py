@@ -180,11 +180,14 @@ class MerlinCompiler:
     benchmarks.
 
     Provisioning knobs — solver backend, partitioning, worker pool,
-    footprint slack, slack widening, warm starts — live in a single
-    :class:`~repro.core.options.ProvisionOptions` passed as ``options`` and
-    forwarded unchanged to :func:`provision` and the incremental engine, so
-    ``compile()`` and ``recompile()`` provably solve under the same
-    configuration.  The legacy ``solver`` / ``max_solver_workers`` /
+    footprint slack, slack widening, warm starts, and the solve-fabric
+    layer (``options.fabric`` worker pool, ``options.component_cache``
+    content-addressed solution cache — :mod:`repro.fabric`) — live in a
+    single :class:`~repro.core.options.ProvisionOptions` passed as
+    ``options`` and forwarded unchanged to :func:`provision` and the
+    incremental engine, so ``compile()`` and ``recompile()`` provably solve
+    under the same configuration, on the same worker pool, against the
+    same cache.  The legacy ``solver`` / ``max_solver_workers`` /
     ``footprint_slack`` keyword arguments still work (they override the
     corresponding option and emit :class:`DeprecationWarning`); after
     construction the three attributes are re-bound to the resolved values,

@@ -88,6 +88,18 @@ class ProvisionOptions:
     disables seeding.
 
     ``cache_limit`` — the incremental engine's component-solution LRU size.
+
+    ``fabric`` — a :class:`repro.fabric.SolveFabric` to solve dirty
+    components on, shared across compile/recompile/sweep calls (and across
+    sessions that receive the same instance).  ``None`` falls back to the
+    process-wide :func:`repro.fabric.shared_fabric` whenever
+    ``max_workers > 1`` asks for parallel solves.
+
+    ``component_cache`` — a :class:`repro.fabric.ComponentSolutionCache`
+    consulted (by canonical content signature) before any component model
+    is built, and populated with proven-optimal solutions after fresh
+    solves.  ``None`` disables cross-run content caching; the engine's
+    session-local revision cache is unaffected either way.
     """
 
     solver: Optional[object] = None
@@ -99,6 +111,8 @@ class ProvisionOptions:
     node_limit: Optional[int] = None
     warm_start: str = "auto"
     cache_limit: int = 512
+    fabric: Optional[object] = None
+    component_cache: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.warm_start not in ("auto", "off"):

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..core.compiler import MerlinCompiler
+from ..core.options import ProvisionOptions
 from ..topology.generators import balanced_tree, fat_tree
 from ..topology.graph import Topology
 from ..units import Bandwidth
@@ -69,8 +70,16 @@ def measure_compilation(
     guarantee: Bandwidth = Bandwidth.mbps(1),
     max_classes: Optional[int] = None,
     seed: int = 0,
+    options: Optional[ProvisionOptions] = None,
 ) -> ScalingRow:
-    """Compile an all-pairs policy on ``topology`` and record the timing row."""
+    """Compile an all-pairs policy on ``topology`` and record the timing row.
+
+    ``options`` configures the provisioning layer — in particular a
+    :class:`~repro.fabric.SolveFabric` and/or
+    :class:`~repro.fabric.ComponentSolutionCache` shared across the points
+    of a scaling run, so fat trees full of structurally identical pods
+    solve each distinct component shape once.
+    """
     policy = all_pairs_policy(
         topology,
         guarantee_fraction=guarantee_fraction,
@@ -83,6 +92,7 @@ def measure_compilation(
         overlap="trust",
         add_catch_all=False,
         generate_code=False,
+        options=options,
     )
     result = compiler.compile(policy)
     statistics = result.statistics
@@ -105,6 +115,7 @@ def figure7_table(
     arities: Sequence[int] = (4, 6),
     guarantee_fraction: float = 0.05,
     max_classes: Optional[int] = None,
+    options: Optional[ProvisionOptions] = None,
 ) -> List[ScalingRow]:
     """The Figure 7 table: fat trees with 5% of traffic classes guaranteed."""
     rows = []
@@ -115,6 +126,7 @@ def figure7_table(
                 topology,
                 guarantee_fraction=guarantee_fraction,
                 max_classes=max_classes,
+                options=options,
             )
         )
     return rows
@@ -125,12 +137,15 @@ def figure8_curves(
     sizes: Sequence[int] = (4, 6),
     guarantee_fraction: float = 0.05,
     max_classes: Optional[int] = None,
+    options: Optional[ProvisionOptions] = None,
 ) -> Dict[str, List[ScalingRow]]:
     """The Figure 8 curves: best-effort vs 5%-guaranteed compilation times.
 
     ``kind`` selects the topology family (``"fat-tree"`` or
     ``"balanced-tree"``); ``sizes`` are fat-tree arities or balanced-tree
     depths.  Returns two series keyed ``"best-effort"`` and ``"guaranteed"``.
+    ``options`` is shared across every point — hand it a component cache
+    to dedupe identical components along the curve.
     """
     best_effort: List[ScalingRow] = []
     guaranteed: List[ScalingRow] = []
@@ -142,13 +157,19 @@ def figure8_curves(
         else:
             raise ValueError(f"unknown topology kind {kind!r}")
         best_effort.append(
-            measure_compilation(topology, guarantee_fraction=0.0, max_classes=max_classes)
+            measure_compilation(
+                topology,
+                guarantee_fraction=0.0,
+                max_classes=max_classes,
+                options=options,
+            )
         )
         guaranteed.append(
             measure_compilation(
                 topology,
                 guarantee_fraction=guarantee_fraction,
                 max_classes=max_classes,
+                options=options,
             )
         )
     return {"best-effort": best_effort, "guaranteed": guaranteed}

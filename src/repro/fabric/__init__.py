@@ -1,0 +1,55 @@
+"""The solve fabric: persistent workers and a cross-run component cache.
+
+Partitioned provisioning solves link-disjoint MIP components.  Before this
+package, every multi-component solve paid to fork a fresh process pool and
+every sweep re-solved components it had already solved under a different
+tenant's name.  The fabric removes both costs:
+
+* :class:`SolveFabric` (``pool.py``) — a persistent worker pool shared
+  across ``compile`` / ``recompile`` / sweep calls.  Components are
+  enqueued largest-first (by a variables x constraints estimate) so idle
+  workers drain the smaller tail while the big models run; stragglers past
+  an optional deadline are speculatively duplicated on the anytime
+  heuristic backend and the first finisher wins (with a proof-aware
+  preference for the exact result).  Worker crashes respawn the pool once
+  and finish serially if it keeps dying — a dead worker degrades latency,
+  never correctness.  :func:`shared_fabric` is the process-wide default
+  pool that ``solve_partition_models`` falls back to, so legacy
+  ``max_workers > 1`` callers get pool persistence without code changes.
+
+* :class:`ComponentSolutionCache` (``cache.py``) — a content-addressed
+  store of solved components keyed by the canonical signature of
+  ``signature.py``: normalized statement bodies, the sorted link footprint
+  with capacities, bandwidth terms, and a backend+options fingerprint.
+  The signature is invariant under tenant renaming and statement
+  permutation, so identical pods/tenant groups across a sweep solve once;
+  an optional JSON-lines spill file dedupes across *runs*.
+
+Construction of a bare ``ProcessPoolExecutor`` anywhere else in
+``src/repro`` is lint-banned (``make lint-pool``): pool lifecycle belongs
+here.
+"""
+
+from .cache import ComponentSolutionCache
+from .pool import SolveFabric, shared_fabric, shutdown_shared_fabric
+from .signature import (
+    CanonicalComponent,
+    backend_fingerprint,
+    canonicalize_component,
+    decode_solution,
+    encode_infeasible,
+    encode_solution,
+)
+
+__all__ = [
+    "CanonicalComponent",
+    "ComponentSolutionCache",
+    "SolveFabric",
+    "backend_fingerprint",
+    "canonicalize_component",
+    "decode_solution",
+    "encode_infeasible",
+    "encode_solution",
+    "shared_fabric",
+    "shutdown_shared_fabric",
+]

@@ -1,0 +1,161 @@
+"""The content-addressed component-solution cache.
+
+Maps canonical component signatures (:mod:`repro.fabric.signature`) to
+stored solution records.  Unlike the incremental engine's revision-keyed
+cache — which answers "is this exact session's component unchanged since
+the last resolve?" — this cache answers "has *anyone*, in *any* session or
+run, already solved a component with this content?", which is what lets a
+topology-zoo or fat-tree sweep solve each distinct pod/tenant shape once.
+
+Policy:
+
+* **LRU-bounded** (``limit`` entries); a hit refreshes recency.
+* **Proof-aware stores.**  Only proven-``optimal`` solutions (and
+  proven-infeasible markers) are stored; time-limited ``feasible``
+  incumbents are *bypassed* — an unproven incumbent memoized across runs
+  would freeze one run's luck into every later run's answer.  Backends
+  that never prove optimality (the anytime heuristic) therefore never
+  populate the cache; see ``incremental/README.md`` for when to disable
+  caching outright.
+* **Optional JSON-lines spill.**  With ``spill_path`` set, stores append
+  ``{"signature": ..., "record": ...}`` lines and construction replays the
+  file (last write wins, unreadable lines skipped), so separate sweep
+  *processes* dedupe against each other's work.
+
+Counters (``hits`` / ``misses`` / ``stores`` / ``bypasses`` locally, the
+``component_signature_*`` series in :mod:`repro.telemetry` globally) make
+the cache's effect visible in ``ControlPlane.metrics()``.
+
+Thread safety: a single lock guards the map — the control plane solves
+batches for different groups concurrently in worker threads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from .. import telemetry
+from .signature import SIGNATURE_VERSION
+
+__all__ = ["ComponentSolutionCache"]
+
+
+class ComponentSolutionCache:
+    """An LRU map of canonical component signature -> solution record."""
+
+    def __init__(
+        self,
+        limit: int = 4096,
+        spill_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if limit < 1:
+            raise ValueError("limit must be >= 1")
+        self._limit = limit
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Mapping[str, object]] = {}
+        self._spill_path = Path(spill_path) if spill_path is not None else None
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.bypasses = 0
+        if self._spill_path is not None and self._spill_path.exists():
+            self._replay_spill()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @property
+    def spill_path(self) -> Optional[Path]:
+        return self._spill_path
+
+    def get(self, signature: str) -> Optional[Mapping[str, object]]:
+        """The stored record for ``signature``, refreshing its recency."""
+        with self._lock:
+            record = self._entries.get(signature)
+            if record is None:
+                self.misses += 1
+            else:
+                # dict preserves insertion order; re-inserting = mark MRU.
+                del self._entries[signature]
+                self._entries[signature] = record
+                self.hits += 1
+        if record is None:
+            telemetry.counter("component_signature_misses")
+        else:
+            telemetry.counter("component_signature_hits")
+        return record
+
+    def put(
+        self, signature: str, record: Mapping[str, object], spill: bool = True
+    ) -> None:
+        """Store a record, evicting least-recently-used entries past the bound."""
+        with self._lock:
+            if signature in self._entries:
+                del self._entries[signature]
+            self._entries[signature] = record
+            while len(self._entries) > self._limit:
+                self._entries.pop(next(iter(self._entries)))
+            self.stores += 1
+        telemetry.counter("component_signature_stores")
+        if spill and self._spill_path is not None:
+            self._append_spill(signature, record)
+
+    def bypass(self) -> None:
+        """Record that a solvable component was deliberately not cached
+        (unproven incumbent — see the module docstring)."""
+        with self._lock:
+            self.bypasses += 1
+        telemetry.counter("component_signature_bypass")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- disk spill --------------------------------------------------------------
+
+    def _append_spill(self, signature: str, record: Mapping[str, object]) -> None:
+        line = json.dumps({"signature": signature, "record": record})
+        self._spill_path.parent.mkdir(parents=True, exist_ok=True)
+        with self._spill_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+
+    def _replay_spill(self) -> None:
+        """Load a spill file written by an earlier run (or another process).
+
+        Tolerant by design: a truncated trailing line (the writer died
+        mid-append) or a record from an older signature version is skipped,
+        never fatal — the worst case is a re-solve.
+        """
+        loaded = 0
+        with self._spill_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    signature = entry["signature"]
+                    record = entry["record"]
+                except (ValueError, KeyError, TypeError):
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                if record.get("version") != SIGNATURE_VERSION:
+                    continue
+                with self._lock:
+                    if signature in self._entries:
+                        del self._entries[signature]
+                    self._entries[signature] = record
+                    while len(self._entries) > self._limit:
+                        self._entries.pop(next(iter(self._entries)))
+                loaded += 1
+        if loaded:
+            telemetry.counter("component_signature_spill_loads", float(loaded))

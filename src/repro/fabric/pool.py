@@ -1,0 +1,290 @@
+"""The persistent solve pool (see the package docstring).
+
+A :class:`SolveFabric` owns one long-lived ``ProcessPoolExecutor`` — the
+only place in the tree allowed to construct one (``make lint-pool``) — and
+schedules component solves onto it:
+
+* **Largest-first dispatch.**  ``solve`` submits payloads in descending
+  size order (the caller's variables x constraints estimate), so the
+  models that dominate the makespan start immediately and idle workers
+  steal the remaining smaller tail from the shared queue.
+
+* **Speculative duplicates.**  With ``speculate_after_seconds`` set, any
+  component still unfinished past the deadline is duplicated onto the
+  anytime heuristic backend (in a thread — the primal heuristic is pure
+  Python and cheap).  Whichever finishes first wins, with a proof-aware
+  preference: an exact result that is ready is always taken over the
+  heuristic's unproven incumbent.  Speculation trades determinism for tail
+  latency, so it is off by default.
+
+* **Crash containment.**  A worker death surfaces as ``BrokenExecutor`` on
+  every pending future.  The fabric keeps the results it already collected,
+  respawns the pool (at most ``max_respawns`` times), resubmits only the
+  unfinished payloads, and — if the pool keeps dying — finishes them
+  serially in-process.  Callers never see the raw executor error.
+
+The pool is lazy: no processes exist until the first multi-payload
+``solve``, and ``shutdown()`` reaps them while leaving the fabric usable
+(the next solve respawns).  :func:`shared_fabric` is the process-wide
+default instance used by ``solve_partition_models`` when no explicit
+fabric is configured; it is reaped at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .. import telemetry
+
+__all__ = ["SolveFabric", "shared_fabric", "shutdown_shared_fabric"]
+
+
+def _default_task(payload):
+    """Solve one ``(model, solver, warm_start)`` component payload."""
+    from ..incremental.solve import _solve_model_payload
+
+    return _solve_model_payload(payload)
+
+
+def _speculative_payload(payload):
+    """The straggler duplicate: the same model on the anytime heuristic."""
+    from ..lp.backends import create_backend
+
+    model, _solver, warm_start = payload
+    return (model, create_backend("heuristic"), warm_start)
+
+
+class SolveFabric:
+    """A persistent, crash-tolerant worker pool for component solves.
+
+    ``max_workers`` fixes the pool width (default: the machine's core
+    count).  ``task`` is the per-payload worker function — overridable for
+    tests; the default solves ``(model, solver, warm_start)`` payloads.
+    All counters (``tasks``, ``respawns``, ``serial_fallbacks``,
+    ``speculations``, ``speculation_wins``, ``spawned``) are cumulative
+    over the fabric's lifetime and mirrored into ``repro.telemetry``.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        *,
+        speculate_after_seconds: Optional[float] = None,
+        max_respawns: int = 1,
+        task: Optional[Callable] = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self._max_workers = max_workers
+        self.speculate_after_seconds = speculate_after_seconds
+        self._max_respawns = max_respawns
+        self._task = task if task is not None else _default_task
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self.spawned = 0
+        self.tasks = 0
+        self.respawns = 0
+        self.serial_fallbacks = 0
+        self.speculations = 0
+        self.speculation_wins = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def ensure_workers(self, count: int) -> "SolveFabric":
+        """Grow the pool to at least ``count`` workers (never shrinks).
+
+        A live executor of the old width is discarded without waiting —
+        already-queued futures still run to completion on it — and the
+        next solve spawns at the new width.
+        """
+        stale = None
+        with self._lock:
+            if count > self._max_workers:
+                self._max_workers = count
+                stale, self._executor = self._executor, None
+        if stale is not None:
+            stale.shutdown(wait=False)
+        return self
+
+    def _executor_handle(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self._max_workers)
+                self.spawned += 1
+                telemetry.counter("fabric_pool_spawns")
+            return self._executor
+
+    def _discard(self, executor: ProcessPoolExecutor) -> None:
+        with self._lock:
+            if self._executor is executor:
+                self._executor = None
+        executor.shutdown(wait=False)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Reap the worker processes.  The fabric stays usable: a later
+        ``solve`` lazily respawns the pool."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "SolveFabric":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    # -- solving -----------------------------------------------------------------
+
+    def solve(
+        self,
+        payloads: Sequence,
+        estimates: Optional[Sequence[float]] = None,
+        task: Optional[Callable] = None,
+    ) -> List:
+        """Run ``task`` over every payload; results come back in input order.
+
+        ``estimates`` (model size proxies) drive largest-first dispatch.
+        Single payloads — and one-worker fabrics — run in-process: the
+        common single-dirty-component delta never pays IPC.
+        """
+        task = task if task is not None else self._task
+        count = len(payloads)
+        results: List = [None] * count
+        if count == 0:
+            return results
+        self.tasks += count
+        if count == 1 or self._max_workers <= 1:
+            for index, payload in enumerate(payloads):
+                results[index] = task(payload)
+            return results
+        if estimates is None:
+            estimates = [0.0] * count
+        order = sorted(range(count), key=lambda index: (-estimates[index], index))
+
+        pending = list(order)
+        for _attempt in range(self._max_respawns + 1):
+            executor = self._executor_handle()
+            try:
+                futures = {
+                    index: executor.submit(task, payloads[index])
+                    for index in pending
+                }
+                self._collect(futures, results, payloads, task)
+            except BrokenExecutor:
+                self._discard(executor)
+                self.respawns += 1
+                telemetry.counter("fabric_pool_respawns")
+                pending = [index for index in pending if results[index] is None]
+                if not pending:
+                    return results
+                continue
+            return results
+
+        # The pool died on every respawn; finish what is left in-process so
+        # the caller gets answers, not executor plumbing.
+        self.serial_fallbacks += 1
+        telemetry.counter("fabric_serial_fallbacks")
+        for index in pending:
+            if results[index] is None:
+                results[index] = task(payloads[index])
+        return results
+
+    def _collect(
+        self,
+        futures: Dict[int, Future],
+        results: List,
+        payloads: Sequence,
+        task: Callable,
+    ) -> None:
+        deadline = self.speculate_after_seconds
+        if deadline is None:
+            for index, future in futures.items():
+                results[index] = future.result()
+            return
+
+        done, _ = wait(set(futures.values()), timeout=deadline)
+        index_of = {future: index for index, future in futures.items()}
+        stragglers: Dict[int, Future] = {}
+        for index, future in futures.items():
+            if future in done:
+                results[index] = future.result()
+            else:
+                stragglers[index] = future
+        if not stragglers:
+            return
+
+        spares = ThreadPoolExecutor(
+            max_workers=len(stragglers), thread_name_prefix="fabric-speculate"
+        )
+        try:
+            duplicates = {
+                index: spares.submit(task, _speculative_payload(payloads[index]))
+                for index in stragglers
+            }
+            self.speculations += len(duplicates)
+            telemetry.counter("fabric_speculations", float(len(duplicates)))
+            for index, primary in stragglers.items():
+                duplicate = duplicates[index]
+                wait({primary, duplicate}, return_when=FIRST_COMPLETED)
+                if primary.done() and primary.exception() is None:
+                    # Proof-aware preference: a finished exact solve always
+                    # beats the heuristic's unproven incumbent.
+                    results[index] = primary.result()
+                    duplicate.cancel()
+                else:
+                    results[index] = duplicate.result()
+                    self.speculation_wins += 1
+                    telemetry.counter("fabric_speculation_wins")
+                    primary.cancel()
+        finally:
+            spares.shutdown(wait=False)
+
+
+_shared: Optional[SolveFabric] = None
+_shared_lock = threading.Lock()
+
+
+def shared_fabric(max_workers: int = 0) -> SolveFabric:
+    """The process-wide fabric behind legacy ``max_workers > 1`` callers.
+
+    Created on first use and grown (never shrunk) to the widest request
+    seen, so repeated ``solve_partition_models`` calls share one set of
+    long-lived workers instead of forking a pool per call.  Reaped at
+    interpreter exit.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None:
+            _shared = SolveFabric(max_workers=max(1, max_workers))
+            atexit.register(shutdown_shared_fabric)
+    if max_workers > 1:
+        _shared.ensure_workers(max_workers)
+    return _shared
+
+
+def shutdown_shared_fabric() -> None:
+    """Reap the shared fabric's workers (it respawns lazily if used again)."""
+    with _shared_lock:
+        fabric = _shared
+    if fabric is not None:
+        fabric.shutdown()

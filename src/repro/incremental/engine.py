@@ -192,6 +192,24 @@ class IncrementalProvisioner:
         self.max_workers = options.max_workers
         self.footprint_slack = options.footprint_slack
         self._cache_limit = options.cache_limit
+        #: The solve fabric (persistent worker pool) and the cross-run
+        #: content-addressed component cache, both optional and both owned
+        #: by the caller (typically the control plane) — the engine only
+        #: routes work through them.
+        self._fabric = options.fabric
+        self._component_cache = options.component_cache
+
+        #: Session-persistent cost-bound tightening memo, shaped
+        #: ``{sid: {slack: (base, tightened, footprint)}}`` and handed to
+        #: every ``solve_components_with_widening`` call so tightening work
+        #: survives across recompiles instead of being rebuilt per delta.
+        #: Deliberately unjournaled: entries self-invalidate by identity
+        #: against the *current* untightened topology (a rollback that
+        #: restores an older ``_logical_full`` object simply misses), so a
+        #: stale entry can cost a recompute but never a wrong footprint.
+        #: Mutators that reshape a statement drop its entries outright to
+        #: bound memory (O(1) per-sid pop, keyed by statement).
+        self._tighten_cache: Dict[str, Dict[Optional[int], tuple]] = {}
 
         self._capacity_mbps = topology_capacities_mbps(topology)
         self._statements: Dict[str, Statement] = {}
@@ -399,6 +417,7 @@ class IncrementalProvisioner:
         if identifier not in self._statements:
             raise ProvisioningError(f"unknown statement {identifier!r}")
         self._prune_incumbents(identifier)
+        self._tighten_cache.pop(identifier, None)
         journal = self._journal
         journal.del_item(self._statements, identifier)
         journal.del_item(self._logical, identifier)
@@ -441,6 +460,7 @@ class IncrementalProvisioner:
                 "its path expression"
             )
         self._prune_incumbents(identifier)
+        self._tighten_cache.pop(identifier, None)
         journal = self._journal
         journal.set_item(self._logical_full, identifier, logical)
         tightened = (
@@ -608,6 +628,9 @@ class IncrementalProvisioner:
                 base_tightened=self._logical,
                 warm_values=warm_values,
                 lookup=lookup,
+                tighten_cache=self._tighten_cache,
+                component_cache=self._component_cache,
+                fabric=self._fabric,
             )
             resolve_span.annotate(
                 partitions=len(outcome.specs), dirty=outcome.solver_calls
@@ -655,7 +678,9 @@ class IncrementalProvisioner:
             self._cache[self._signature_for(*key)] = INFEASIBLE_COMPONENT
         while len(self._cache) > self._cache_limit:
             self._cache.pop(next(iter(self._cache)))
-        for solution in outcome.fresh:
+        # Content-cache adoptions carry incumbent values this session has
+        # never seen; they seed warm starts exactly like fresh solves.
+        for solution in (*outcome.fresh, *outcome.adopted):
             self._journal.update_items(self._last_values, solution.values_by_name)
         return result
 

@@ -19,16 +19,21 @@ followed by ``resolve()`` yields exactly the allocations of a from-scratch
 ``compile()`` of the final policy.
 
 Disjoint components are independent MIPs, so they can be solved
-concurrently: ``max_workers > 1`` ships the built models to a
-``ProcessPoolExecutor`` (models pickle cleanly; results return as
-name-keyed value maps).  Warm starts are projected onto each component's
-binary edge variables and repaired (the dependent continuous reservation
-variables are recomputed) before being handed to the solver backend.
+concurrently: ``max_workers > 1`` ships the built models to the solve
+fabric (:mod:`repro.fabric` — a *persistent* worker pool shared across
+calls; models pickle cleanly and results return as name-keyed value maps).
+A worker crash degrades to a serial in-process solve, never to an error.
+Warm starts are projected onto each component's binary edge variables and
+repaired (the dependent continuous reservation variables are recomputed)
+before being handed to the solver backend.  An optional content-addressed
+:class:`~repro.fabric.ComponentSolutionCache` is consulted before any
+model is built, so identical components across tenants, sessions, and
+sweep runs solve once.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -256,14 +261,20 @@ def solve_partition_models(
     solver=None,
     warm_starts: Optional[Sequence[Optional[Mapping[str, float]]]] = None,
     max_workers: int = 0,
+    fabric=None,
 ) -> List[Tuple[str, Dict[str, float], Optional[float], Dict[str, float], Dict[str, object]]]:
-    """Solve component models, in-process or via a process pool.
+    """Solve component models, in-process or on the solve fabric.
 
     Returns one ``(status, values_by_name, objective, statistics,
-    span payload)`` tuple per model, in input order.  The pool is only
-    engaged when more than one model is to be solved and ``max_workers``
-    allows it — a single dirty component (the common 1-statement delta)
-    never pays fork overhead.
+    span payload)`` tuple per model, in input order.  Multi-model solves go
+    to ``fabric`` (a :class:`repro.fabric.SolveFabric`) when one is
+    configured, else — with ``max_workers > 1`` — to the process-wide
+    :func:`repro.fabric.shared_fabric`, whose workers persist across
+    calls; a single dirty component (the common 1-statement delta) never
+    pays IPC.  Models are dispatched largest-first by a variables x
+    constraints estimate.  If the pool breaks beyond the fabric's own
+    respawn budget (``BrokenProcessPool``), the remaining models are solved
+    serially in-process instead of propagating the executor error.
     """
     if warm_starts is None:
         warm_starts = [None] * len(built_models)
@@ -271,11 +282,23 @@ def solve_partition_models(
         (built.model, solver, warm)
         for built, warm in zip(built_models, warm_starts)
     ]
-    if max_workers > 1 and len(payloads) > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(max_workers, len(payloads))
-        ) as pool:
-            return list(pool.map(_solve_model_payload, payloads))
+    if len(payloads) > 1 and (fabric is not None or max_workers > 1):
+        if fabric is None:
+            from ..fabric.pool import shared_fabric
+
+            fabric = shared_fabric(max_workers)
+        estimates = [
+            float(built.model.num_variables() * built.model.num_constraints())
+            for built in built_models
+        ]
+        try:
+            return fabric.solve(payloads, estimates=estimates)
+        except BrokenExecutor:
+            # Belt and braces under the fabric's own crash handling: a pool
+            # that dies during submission must degrade to a serial solve,
+            # not surface executor plumbing to the provisioning caller.
+            telemetry.counter("fabric_serial_fallbacks")
+            return [_solve_model_payload(payload) for payload in payloads]
     return [_solve_model_payload(payload) for payload in payloads]
 
 
@@ -344,16 +367,20 @@ class WideningOutcome:
     ``specs`` / ``solutions`` are the *final* partition (after any widening
     merged components) and its solutions, aligned.  ``fresh`` is the subset
     of final solutions actually solved by this call (the rest came from the
-    caller's ``lookup``) — the incremental engine updates its incumbent
-    values from exactly these.  ``infeasible_keys`` lists every
-    (members, slacks) combination proven infeasible along the ladder, so
-    callers can cache the markers and skip those rungs next time.
+    caller's ``lookup``); ``adopted`` is the subset re-addressed out of the
+    content-addressed component cache — no solve happened, but their
+    incumbent values are new to the caller, so the incremental engine
+    updates its warm-start map from ``fresh`` *and* ``adopted``.
+    ``infeasible_keys`` lists every (members, slacks) combination proven
+    infeasible along the ladder, so callers can cache the markers and skip
+    those rungs next time.
     """
 
     specs: List[PartitionSpec]
     solutions: List[PartitionSolution]
     fresh: List[PartitionSolution]
     infeasible_keys: List[ComponentKey]
+    adopted: List[PartitionSolution] = field(default_factory=list)
     slack_retries: int = 0
     solver_calls: int = 0
     construction_seconds: float = 0.0
@@ -396,6 +423,9 @@ def solve_components_with_widening(
     lookup: Optional[
         Callable[[PartitionSpec, Tuple[Optional[int], ...]], object]
     ] = None,
+    tighten_cache: Optional[Dict[str, Dict[Optional[int], tuple]]] = None,
+    component_cache=None,
+    fabric=None,
 ) -> WideningOutcome:
     """Partition, solve, and self-heal cost-bound infeasibilities.
 
@@ -428,18 +458,33 @@ def solve_components_with_widening(
     :data:`INFEASIBLE_COMPONENT` marker (skip the rung without re-solving),
     or ``None``.  With ``widen=False`` the first infeasible component
     raises immediately (the pre-widening behaviour).
+
+    ``tighten_cache`` is the (hoistable) memo of cost-bound tightening
+    work, shaped ``{sid: {slack: (base, tightened, footprint)}}``.  Passing
+    the same dict across calls — the incremental engine passes a
+    session-owned one — makes tightening survive recompiles; entries
+    self-invalidate by identity (an entry whose recorded ``base`` is not
+    the caller's current untightened topology is recomputed), so a stale
+    dict can cost a recompute but never a wrong footprint.  ``None`` uses a
+    per-call memo, the original behaviour.
+
+    ``component_cache`` (a :class:`repro.fabric.ComponentSolutionCache`)
+    is consulted *after* ``lookup`` misses and *before* the model is built:
+    a content hit is re-addressed to this component's statement ids and
+    reported in ``WideningOutcome.adopted``; fresh proven-optimal solves
+    (and proven infeasibilities) are stored back.  ``fabric`` routes
+    multi-component solves onto a persistent worker pool (see
+    :func:`solve_partition_models`).
     """
     slack_by_id: Dict[str, Optional[int]] = {
         sid: footprint_slack for sid in statements_by_id
     }
-    tight_cache: Dict[Tuple[str, Optional[int]], LogicalTopology] = {}
-    footprint_cache: Dict[Tuple[str, Optional[int]], frozenset] = {}
-    if base_tightened:
-        for sid, logical in base_tightened.items():
-            tight_cache[(sid, footprint_slack)] = logical
+    if tighten_cache is None:
+        tighten_cache = {}
     local: Dict[ComponentKey, PartitionSolution] = {}
     infeasible_local: Dict[ComponentKey, str] = {}
     solved_keys: set = set()
+    adopted_keys: set = set()
     fresh_by_key: Dict[ComponentKey, PartitionSolution] = {}
     discovered_infeasible: List[ComponentKey] = []
     slack_retries = 0
@@ -463,22 +508,31 @@ def solve_components_with_widening(
             footprints: Dict[str, frozenset] = {}
             for sid in statements_by_id:
                 slack = slack_by_id[sid]
-                cache_key = (sid, slack)
-                logical = tight_cache.get(cache_key)
-                if logical is None:
-                    base = logical_topologies[sid]
-                    logical = base if slack is None else prune_to_cost_bound(base, slack)
-                    tight_cache[cache_key] = logical
-                footprint = footprint_cache.get(cache_key)
-                if footprint is None:
-                    footprint = frozenset(logical.physical_links_used())
-                    footprint_cache[cache_key] = footprint
-                tightened[sid] = logical
-                footprints[sid] = footprint
+                base = logical_topologies[sid]
+                per_sid = tighten_cache.get(sid)
+                if per_sid is None:
+                    per_sid = tighten_cache[sid] = {}
+                entry = per_sid.get(slack)
+                if entry is None or entry[0] is not base:
+                    # Entry missing or stale (tightened from a different
+                    # untightened topology — e.g. after replace_logical or
+                    # a rollback): recompute.  The caller's pre-tightened
+                    # base view, when supplied, seeds the base rung.
+                    logical = None
+                    if base_tightened is not None and slack == footprint_slack:
+                        logical = base_tightened.get(sid)
+                    if logical is None:
+                        logical = (
+                            base if slack is None else prune_to_cost_bound(base, slack)
+                        )
+                    entry = (base, logical, frozenset(logical.physical_links_used()))
+                    per_sid[slack] = entry
+                tightened[sid] = entry[1]
+                footprints[sid] = entry[2]
             specs = partition_statements(footprints)
 
             resolved: Dict[PartitionSpec, PartitionSolution] = {}
-            to_solve: List[Tuple[PartitionSpec, ComponentKey]] = []
+            to_solve: List[Tuple[PartitionSpec, ComponentKey, object]] = []
             widen_specs: List[PartitionSpec] = []
             for spec in specs:
                 slacks = tuple(slack_by_id[sid] for sid in spec.statement_ids)
@@ -496,15 +550,37 @@ def solve_components_with_widening(
                     if found is not None:
                         solution = found
                         local[key] = solution
+                canon = None
+                if solution is None and component_cache is not None:
+                    from ..fabric.signature import (
+                        canonicalize_component,
+                        decode_solution,
+                    )
+
+                    canon = canonicalize_component(
+                        spec, tightened, rates, capacity_mbps,
+                        heuristic, solver, slacks,
+                    )
+                    record = component_cache.get(canon.signature)
+                    if record is not None:
+                        if record.get("infeasible"):
+                            infeasible_local[key] = str(
+                                record.get("status", "infeasible")
+                            )
+                            widen_specs.append(spec)
+                            continue
+                        solution = decode_solution(record, canon, spec, slacks)
+                        local[key] = solution
+                        adopted_keys.add(key)
                 if solution is not None:
                     resolved[spec] = solution
                 else:
-                    to_solve.append((spec, key))
+                    to_solve.append((spec, key, canon))
 
             built_models: List[ProvisioningModel] = []
             build_seconds: List[float] = []
             warm_starts: List[Optional[Dict[str, float]]] = []
-            for spec, _key in to_solve:
+            for spec, _key, _canon in to_solve:
                 with telemetry.span("build_model") as build_span:
                     built_models.append(
                         build_partition_model(
@@ -539,9 +615,10 @@ def solve_components_with_widening(
                     solver=solver,
                     warm_starts=warm_starts,
                     max_workers=max_workers,
+                    fabric=fabric,
                 )
                 received = telemetry.clock()
-                for (spec, key), built, outcome, seconds in zip(
+                for (spec, key, canon), built, outcome, seconds in zip(
                     to_solve, built_models, outcomes, build_seconds
                 ):
                     solver_calls += 1
@@ -576,7 +653,26 @@ def solve_components_with_widening(
                         solved_keys.add(key)
                         fresh_by_key[key] = solution
                         resolved[spec] = solution
+                        if component_cache is not None and canon is not None:
+                            from ..fabric.signature import encode_solution
+
+                            if SolveStatus(status_value) is SolveStatus.OPTIMAL:
+                                component_cache.put(
+                                    canon.signature,
+                                    encode_solution(solution, canon),
+                                )
+                            else:
+                                # An unproven (time/node-limited or
+                                # heuristic) incumbent must not freeze one
+                                # run's luck into every later run.
+                                component_cache.bypass()
                     else:
+                        if component_cache is not None and canon is not None:
+                            from ..fabric.signature import encode_infeasible
+
+                            component_cache.put(
+                                canon.signature, encode_infeasible(status_value)
+                            )
                         if not widen:
                             _raise_component_infeasible(spec, status_value)
                         telemetry.counter("components_infeasible")
@@ -587,19 +683,28 @@ def solve_components_with_widening(
 
         if not widen_specs:
             solutions = [resolved[spec] for spec in specs]
-            fresh = [
-                resolved[spec]
-                for spec in specs
-                if (
+            final_keys = [
+                (
                     spec.statement_ids,
                     tuple(slack_by_id[sid] for sid in spec.statement_ids),
                 )
-                in solved_keys
+                for spec in specs
+            ]
+            fresh = [
+                resolved[spec]
+                for spec, key in zip(specs, final_keys)
+                if key in solved_keys
+            ]
+            adopted = [
+                resolved[spec]
+                for spec, key in zip(specs, final_keys)
+                if key in adopted_keys
             ]
             return WideningOutcome(
                 specs=specs,
                 solutions=solutions,
                 fresh=fresh,
+                adopted=adopted,
                 infeasible_keys=discovered_infeasible,
                 slack_retries=slack_retries,
                 solver_calls=solver_calls,
@@ -794,6 +899,8 @@ def provision_partitioned(
         max_workers=options.max_workers,
         footprint_slack=options.footprint_slack,
         widen=options.widen_slack,
+        component_cache=options.component_cache,
+        fabric=options.fabric,
     )
     result = merge_partition_solutions(
         outcome.solutions,

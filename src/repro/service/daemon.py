@@ -44,12 +44,15 @@ sessions.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry as _telemetry
 from ..core.compiler import MerlinCompiler
+from ..core.options import ProvisionOptions
 from ..errors import ProvisioningError
+from ..fabric import ComponentSolutionCache, SolveFabric
 from ..incremental.delta import PolicyDelta, merge_policy_deltas
 from ..telemetry import MetricsRegistry, MetricsSnapshot, Telemetry
 from .admission import AdmissionPolicy, TenantGate
@@ -133,6 +136,16 @@ class ControlPlane:
     deltas one transaction may absorb.  Pass ``telemetry`` to trace
     batches too (e.g. ``Telemetry.recording(clock=clock)``); the default
     is metrics-only, queryable via :meth:`metrics`.
+
+    The plane also owns the *solve fabric* for its groups: pass a
+    :class:`~repro.fabric.SolveFabric` (shared with other planes or
+    sessions), or ``fabric_workers=N`` to have the plane create — and, at
+    :meth:`shutdown`, reap — its own persistent pool.  A
+    :class:`~repro.fabric.ComponentSolutionCache` passed as
+    ``component_cache`` is likewise injected into every group's compiler,
+    so identical components across tenant groups solve once; its
+    ``component_signature_*`` counters land in :meth:`metrics` because
+    batches run inside this plane's telemetry bundle.
     """
 
     def __init__(
@@ -142,6 +155,9 @@ class ControlPlane:
         clock: Callable[[], float] = time.monotonic,
         max_batch: int = 16,
         telemetry: Optional[Telemetry] = None,
+        fabric: Optional[SolveFabric] = None,
+        fabric_workers: Optional[int] = None,
+        component_cache: Optional[ComponentSolutionCache] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -153,6 +169,11 @@ class ControlPlane:
             if telemetry is not None
             else Telemetry(metrics=MetricsRegistry(), clock=clock)
         )
+        self._owns_fabric = fabric is None and fabric_workers is not None
+        if self._owns_fabric:
+            fabric = SolveFabric(max_workers=fabric_workers)
+        self._fabric = fabric
+        self._component_cache = component_cache
         self._groups: Dict[str, _Group] = {}
         self._started = False
         self._closing = False
@@ -180,7 +201,13 @@ class ControlPlane:
                 group.worker = asyncio.ensure_future(self._worker(group))
 
     async def shutdown(self) -> None:
-        """Process every queued delta, then stop all workers."""
+        """Process every queued delta, then stop all workers.
+
+        A fabric the plane created itself (``fabric_workers=...``) has its
+        worker processes reaped too; it respawns lazily if the plane is
+        started again.  A caller-supplied fabric is left alone — its
+        lifecycle belongs to the caller.
+        """
         self._closing = True
         workers = []
         for group in self._groups.values():
@@ -191,6 +218,8 @@ class ControlPlane:
             await group.worker
             group.worker = None
         self._started = False
+        if self._owns_fabric and self._fabric is not None:
+            await asyncio.to_thread(self._fabric.shutdown)
 
     async def open_group(
         self,
@@ -210,6 +239,11 @@ class ControlPlane:
         ``placements`` / ``options`` / further :class:`MerlinCompiler`
         keywords) to build one.  The compile runs in a thread so the event
         loop — and the other groups' intake — stays responsive.
+
+        The plane's solve fabric and component cache (when configured) are
+        injected into the group's options unless the options already carry
+        their own — a group can opt out of the shared cache by passing
+        ``options=ProvisionOptions(component_cache=...)`` explicitly.
         """
         if name in self._groups:
             raise ProvisioningError(f"group {name!r} is already open")
@@ -221,9 +255,11 @@ class ControlPlane:
             compiler = MerlinCompiler(
                 topology=topology,
                 placements=placements or {},
-                options=options,
+                options=self._inject_fabric(options),
                 **compiler_kwargs,
             )
+        else:
+            compiler.options = self._inject_fabric(compiler.options)
         with self._telemetry.use():
             # to_thread copies the context, so the compile's spans and
             # counters land in this plane's bundle.
@@ -239,6 +275,21 @@ class ControlPlane:
         if self._started:
             group.worker = asyncio.ensure_future(self._worker(group))
         return self.query(name)
+
+    def _inject_fabric(
+        self, options: Optional[ProvisionOptions]
+    ) -> Optional[ProvisionOptions]:
+        """Fill a group's unset ``fabric`` / ``component_cache`` fields
+        with the plane's own (explicit per-group settings win)."""
+        if self._fabric is None and self._component_cache is None:
+            return options
+        resolved = options if options is not None else ProvisionOptions()
+        overrides = {}
+        if self._fabric is not None and resolved.fabric is None:
+            overrides["fabric"] = self._fabric
+        if self._component_cache is not None and resolved.component_cache is None:
+            overrides["component_cache"] = self._component_cache
+        return dataclasses.replace(resolved, **overrides) if overrides else resolved
 
     # ------------------------------------------------------------------
     # intake

@@ -1,0 +1,164 @@
+"""The content-addressed component cache, end to end through real compiles.
+
+A fat tree with one tenant per pod makes the partition decomposition
+produce link-disjoint MIP components (one per guaranteed host pair at
+this scale), so the cache counters are exactly predictable: a cold
+compile stores one record per component, a warm
+compile of the *same content* — same tenant, renamed tenants, permuted
+statements — hits every one of them, skips the model build entirely, and
+still reproduces the cold compile's allocations byte for byte.
+"""
+
+import pytest
+
+from repro.core.ast import BandwidthTerm, FMin, Policy, Statement, formula_and
+from repro.core.compiler import MerlinCompiler
+from repro.core.options import ProvisionOptions
+from repro.experiments.reprovisioning import pod_tenant_scenario
+from repro.fabric import ComponentSolutionCache
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return pod_tenant_scenario(arity=4, pairs_per_pod=2)
+
+
+def _compile(scenario, cache, policy=None, **option_overrides):
+    options = ProvisionOptions(component_cache=cache, **option_overrides)
+    compiler = MerlinCompiler(
+        topology=scenario.topology,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+        options=options,
+    )
+    return compiler.compile(policy if policy is not None else scenario.policy)
+
+
+def _renamed(scenario, prefix):
+    """The same policy under a different tenant's identifiers."""
+    statements = tuple(
+        Statement(prefix + statement.identifier, statement.predicate, statement.path)
+        for statement in scenario.policy.statements
+    )
+    clauses = [
+        FMin(BandwidthTerm(identifiers=(statement.identifier,)), scenario.guarantee)
+        for statement in statements
+    ]
+    return Policy(statements=statements, formula=formula_and(*clauses))
+
+
+def _permuted(scenario):
+    """The same policy with its statements written in reverse order."""
+    statements = tuple(reversed(scenario.policy.statements))
+    clauses = [
+        FMin(BandwidthTerm(identifiers=(statement.identifier,)), scenario.guarantee)
+        for statement in statements
+    ]
+    return Policy(statements=statements, formula=formula_and(*clauses))
+
+
+def _reservations(result):
+    return {key: value.bps_value for key, value in result.link_reservations.items()}
+
+
+def _paths(result):
+    return {key: assignment.path for key, assignment in result.paths.items()}
+
+
+class TestHitsAndByteIdenticalAllocations:
+    def test_warm_compile_hits_every_component_and_matches_exactly(self, scenario):
+        cache = ComponentSolutionCache()
+        cold = _compile(scenario, cache)
+        stores = cache.stores
+        assert stores == len(scenario.policy.statements)  # link-disjoint pairs
+        assert cache.misses == stores and cache.hits == 0
+
+        warm = _compile(scenario, cache)
+        assert cache.hits == stores
+        assert cache.stores == stores  # hits are not re-stored
+        # Byte-identical, not approximately-equal: the stored record is the
+        # cold solve's exact variable assignment.
+        assert _reservations(warm) == _reservations(cold)
+        assert _paths(warm) == _paths(cold)
+
+    def test_renamed_tenants_hit_and_get_readdressed_allocations(self, scenario):
+        cache = ComponentSolutionCache()
+        cold = _compile(scenario, cache)
+        renamed = _compile(scenario, cache, policy=_renamed(scenario, "zz_"))
+        assert cache.hits == cache.stores
+        assert _reservations(renamed) == _reservations(cold)
+        assert {
+            "zz_" + key: path for key, path in _paths(cold).items()
+        } == _paths(renamed)
+
+    def test_permuted_statements_hit(self, scenario):
+        cache = ComponentSolutionCache()
+        cold = _compile(scenario, cache)
+        permuted = _compile(scenario, cache, policy=_permuted(scenario))
+        assert cache.hits == cache.stores
+        assert _reservations(permuted) == _reservations(cold)
+        assert _paths(permuted) == _paths(cold)
+
+
+class TestDistinctContentMisses:
+    def test_different_backend_options_miss(self, scenario):
+        cache = ComponentSolutionCache()
+        _compile(scenario, cache)
+        _compile(scenario, cache, solver="bnb")
+        # The bnb-keyed lookups all missed and stored their own records.
+        assert cache.hits == 0
+        assert cache.misses == cache.stores
+        assert cache.stores == 2 * len(scenario.policy.statements)
+
+    def test_different_guarantees_miss(self, scenario):
+        cache = ComponentSolutionCache()
+        _compile(scenario, cache)
+        other = pod_tenant_scenario(
+            arity=4, pairs_per_pod=2, guarantee=scenario.guarantee * 1.5
+        )
+        _compile(other, cache)
+        assert cache.hits == 0
+        assert cache.misses == 2 * len(scenario.policy.statements)
+
+
+class TestSpill:
+    def test_spill_file_dedupes_across_cache_instances(self, scenario, tmp_path):
+        spill = tmp_path / "components.jsonl"
+        first = ComponentSolutionCache(spill_path=spill)
+        cold = _compile(scenario, first)
+        assert first.stores > 0 and spill.exists()
+
+        second = ComponentSolutionCache(spill_path=spill)
+        assert len(second) == first.stores  # replayed, not re-solved
+        warm = _compile(scenario, second)
+        assert second.hits == first.stores and second.stores == 0
+        assert _reservations(warm) == _reservations(cold)
+
+    def test_replay_tolerates_garbage_and_stale_versions(self, scenario, tmp_path):
+        spill = tmp_path / "components.jsonl"
+        first = ComponentSolutionCache(spill_path=spill)
+        _compile(scenario, first)
+        stored = first.stores
+        with spill.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"signature": "s", "record": {"version": "older-v0"}}\n')
+            handle.write('{"signature": "t"}\n')
+        second = ComponentSolutionCache(spill_path=spill)
+        assert len(second) == stored  # the garbage and stale lines were skipped
+
+
+class TestBounds:
+    def test_lru_eviction_keeps_the_most_recent_entries(self):
+        cache = ComponentSolutionCache(limit=2)
+        cache.put("a", {"version": "v"})
+        cache.put("b", {"version": "v"})
+        assert cache.get("a") is not None  # refreshes "a" to most-recent
+        cache.put("c", {"version": "v"})  # evicts "b", the LRU entry
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is not None and cache.get("c") is not None
+
+    def test_rejects_nonsense_limits(self):
+        with pytest.raises(ValueError):
+            ComponentSolutionCache(limit=0)

@@ -1,0 +1,67 @@
+"""A broken pool degrades to serial solves, never to an executor error.
+
+``solve_partition_models`` has two layers of containment: the fabric's own
+respawn-then-serial handling (``test_pool.py``), and a belt-and-braces
+catch around the whole ``fabric.solve`` call for pools that break during
+submission.  This test drives the second layer through a real compile with
+a fabric stub whose ``solve`` always raises ``BrokenProcessPool`` — the
+compile must still succeed, with the same allocations as an in-process
+compile.
+"""
+
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.compiler import MerlinCompiler
+from repro.core.options import ProvisionOptions
+from repro.experiments.reprovisioning import pod_tenant_scenario
+from repro.incremental.solve import solve_partition_models
+
+
+class AlwaysBrokenFabric:
+    def __init__(self):
+        self.calls = 0
+
+    def solve(self, payloads, estimates=None, task=None):
+        self.calls += 1
+        raise BrokenProcessPool("every worker died")
+
+
+def _compile(scenario, fabric):
+    compiler = MerlinCompiler(
+        topology=scenario.topology,
+        overlap="trust",
+        add_catch_all=False,
+        generate_code=False,
+        options=ProvisionOptions(fabric=fabric),
+    )
+    return compiler.compile(scenario.policy)
+
+
+def test_compile_survives_a_pool_that_breaks_on_submission():
+    scenario = pod_tenant_scenario(arity=4, pairs_per_pod=2)
+    fabric = AlwaysBrokenFabric()
+    broken = _compile(scenario, fabric)
+    assert fabric.calls > 0  # the fabric really was asked first
+    clean = _compile(scenario, None)
+    assert {k: v.bps_value for k, v in broken.link_reservations.items()} == {
+        k: v.bps_value for k, v in clean.link_reservations.items()
+    }
+    assert {k: p.path for k, p in broken.paths.items()} == {
+        k: p.path for k, p in clean.paths.items()
+    }
+
+
+def test_solve_partition_models_reports_the_fallback(monkeypatch):
+    from repro import telemetry
+
+    seen = []
+    original = telemetry.counter
+
+    def spy(name, amount=1.0, **labels):
+        seen.append(name)
+        return original(name, amount, **labels)
+
+    monkeypatch.setattr(telemetry, "counter", spy)
+    scenario = pod_tenant_scenario(arity=4, pairs_per_pod=2)
+    _compile(scenario, AlwaysBrokenFabric())
+    assert "fabric_serial_fallbacks" in seen
